@@ -1,0 +1,102 @@
+// Command lbench is the standalone interference benchmark of §3.2.
+//
+//	lbench calibrate             # configured intensity vs measured LoI
+//	lbench sweep                 # IC and PCM traffic vs flops/element
+//	lbench run -threads 2 -flops 8 -loi 0.3
+//
+// run reports the traffic the generator would inject at the given
+// configuration and, with -loi, the flops/element setting that reaches a
+// target level of interference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lbench"
+	"repro/internal/link"
+	"repro/internal/machine"
+	"repro/internal/textplot"
+	"repro/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: lbench <calibrate|sweep|run> [flags]")
+	}
+	cfg := machine.Default()
+	md := lbench.NewModel(cfg)
+	switch args[0] {
+	case "calibrate":
+		tb := textplot.NewTable("LBench calibration: configured intensity vs measured LoI",
+			"Configured", "1 thread", "2 threads", "12 threads")
+		for pct := 10; pct <= 100; pct += 10 {
+			row := []any{fmt.Sprintf("%d%%", pct)}
+			for _, th := range []int{1, 2, 12} {
+				n, ok := md.Configure(float64(pct)/100, th)
+				if !ok {
+					row = append(row, "-")
+					continue
+				}
+				loi := md.MeasuredLoI(lbench.Config{Threads: th, FlopsPerElement: n})
+				row = append(row, units.Percent(loi))
+			}
+			tb.AddRow(row...)
+		}
+		fmt.Print(tb.String())
+		return nil
+	case "sweep":
+		l := link.New(cfg.Link)
+		tb := textplot.NewTable("LBench sweep: interference coefficient vs PCM traffic (12 threads)",
+			"flops/element", "offered raw", "IC", "PCM traffic")
+		for f := 1; f <= 128; f *= 2 {
+			bg := md.OfferedRaw(lbench.Config{Threads: 12, FlopsPerElement: f})
+			tb.AddRow(f, units.Bandwidth(bg), fmt.Sprintf("%.2f", md.IC(bg)),
+				units.Bandwidth(l.PCMTraffic(bg)))
+		}
+		fmt.Print(tb.String())
+		return nil
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ContinueOnError)
+		threads := fs.Int("threads", 2, "generator threads")
+		flops := fs.Int("flops", 1, "flops per element")
+		loi := fs.Float64("loi", 0, "target LoI (0..1); overrides -flops")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		c := lbench.Config{Threads: *threads, FlopsPerElement: *flops}
+		if *loi > 0 {
+			n, ok := md.Configure(*loi, *threads)
+			if !ok {
+				return fmt.Errorf("%d thread(s) cannot reach LoI %.0f%%", *threads, *loi*100)
+			}
+			c.FlopsPerElement = n
+			fmt.Printf("target LoI %.0f%% -> %d flops/element\n", *loi*100, n)
+		}
+		offered := md.OfferedRaw(c)
+		fmt.Printf("threads=%d flops/element=%d\n", c.Threads, c.FlopsPerElement)
+		fmt.Printf("offered raw traffic: %s (%.1f%% of peak)\n",
+			units.Bandwidth(offered), 100*offered/cfg.Link.PeakTraffic)
+		fmt.Printf("measured LoI (PCM): %.1f%%\n", md.MeasuredLoI(c)*100)
+		fmt.Printf("interference coefficient at this load: %.2f\n", md.IC(offered))
+
+		// Execute the kernel for real on an emulated machine to validate.
+		b := lbench.NewBench(c)
+		m := machine.New(cfg)
+		b.Run(m)
+		if ph, ok := m.Phase("lbench"); ok {
+			fmt.Printf("executed kernel: %s remote traffic, %.0f flops\n",
+				units.Bytes(ph.RemoteBytes), ph.Flops)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}

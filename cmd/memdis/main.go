@@ -1,0 +1,49 @@
+// Command memdis regenerates the paper's tables and figures on the emulated
+// platform. Usage:
+//
+//	memdis all            # every experiment in paper order
+//	memdis figure9        # one experiment (figureN or tableN)
+//	memdis list           # list experiment ids
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "memdis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: memdis <all|list|%s|...>", experiments.IDs[0])
+	}
+	s := experiments.Default()
+	switch args[0] {
+	case "list":
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return nil
+	case "all":
+		for _, r := range s.All() {
+			fmt.Printf("==== %s ====\n%s\n", r.ID(), r.Render())
+		}
+		return nil
+	default:
+		for _, id := range args {
+			r, err := s.Run(id)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
+		}
+		return nil
+	}
+}

@@ -1,0 +1,128 @@
+// Command profile runs the three-level profiling workflow of Figure 4 on
+// one workload and prints each level's report.
+//
+//	profile -workload BFS                 # all three levels, defaults
+//	profile -workload XSBench -scale 2 -local 0.25 -level 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/textplot"
+	"repro/internal/units"
+	"repro/internal/workloads/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	name := fs.String("workload", "", "workload name (HPL, Hypre, NekRS, BFS, SuperLU, XSBench)")
+	scale := fs.Int("scale", 1, "input scale: 1, 2 or 4")
+	local := fs.Float64("local", 0.5, "local tier capacity as a fraction of peak usage (levels 2-3)")
+	level := fs.Int("level", 0, "run a single level (1, 2 or 3); 0 = all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-workload is required; known: %v", registry.Names())
+	}
+	entry, err := registry.Get(*name)
+	if err != nil {
+		return err
+	}
+	if *scale != 1 && *scale != 2 && *scale != 4 {
+		return fmt.Errorf("scale must be 1, 2 or 4")
+	}
+	p := core.NewProfiler(machine.Default())
+
+	if *level == 0 || *level == 1 {
+		printLevel1(p, entry, *scale)
+	}
+	if *level == 0 || *level == 2 {
+		printLevel2(p, entry, *scale, *local)
+	}
+	if *level == 0 || *level == 3 {
+		printLevel3(p, entry, *scale, *local)
+	}
+	return nil
+}
+
+func printLevel1(p *core.Profiler, entry registry.Entry, scale int) {
+	rep := p.Level1(entry, scale)
+	fmt.Printf("== Level 1: general characteristics (%s x%d) ==\n", rep.Workload, rep.Scale)
+	fmt.Printf("peak footprint: %s\n", units.Bytes(rep.PeakFootprint))
+	tb := textplot.NewTable("per-phase profile",
+		"Phase", "Time", "AI (flop/B)", "Throughput", "Bandwidth", "PF acc", "PF cov")
+	for _, ph := range rep.Phases {
+		tb.AddRow(ph.Name, units.Seconds(ph.Time), fmt.Sprintf("%.3f", ph.AI),
+			units.Flops(ph.Throughput), units.Bandwidth(ph.Bandwidth),
+			units.Percent(ph.PrefetchAccuracy), units.Percent(ph.PrefetchCoverage))
+	}
+	fmt.Print(tb.String())
+	fmt.Printf("prefetching: accuracy %s, coverage %s, excess traffic %s, performance gain %s\n\n",
+		units.Percent(rep.Accuracy), units.Percent(rep.Coverage),
+		units.Percent(rep.ExcessTraffic), units.Percent(rep.PerformanceGain))
+}
+
+func printLevel2(p *core.Profiler, entry registry.Entry, scale int, local float64) {
+	rep := p.Level2(entry, scale, local)
+	fmt.Printf("== Level 2: multi-tier access (%s x%d, local=%.0f%% of peak) ==\n",
+		rep.Workload, rep.Scale, local*100)
+	fmt.Printf("references: R_cap=%s R_BW=%s\n", units.Percent(rep.RCap), units.Percent(rep.RBW))
+	tb := textplot.NewTable("per-phase tier ratios",
+		"Phase", "%RemoteAccess", "%RemoteCapacity", "AI", "Verdict")
+	for _, ph := range rep.Phases {
+		tb.AddRow(ph.Name, units.Percent(ph.RemoteAccessRatio),
+			units.Percent(ph.RemoteCapacityRatio), fmt.Sprintf("%.3f", ph.AI),
+			rep.Verdict(ph).String())
+	}
+	fmt.Print(tb.String())
+
+	regions := core.SortRegionsHot(rep.Regions)
+	if len(regions) > 6 {
+		regions = regions[:6]
+	}
+	rt := textplot.NewTable("hottest allocation sites", "Region", "Local pages", "Remote pages", "Accesses")
+	for _, r := range regions {
+		rt.AddRow(r.Region.Name, r.LocalPages, r.RemotePages, r.Accesses)
+	}
+	fmt.Print(rt.String())
+	fmt.Println()
+}
+
+func printLevel3(p *core.Profiler, entry registry.Entry, scale int, local float64) {
+	lois := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	rep := p.Level3(entry, scale, local, lois)
+	fmt.Printf("== Level 3: memory interference (%s x%d, local=%.0f%% of peak) ==\n",
+		rep.Workload, rep.Scale, local*100)
+	headers := []string{"metric"}
+	for _, l := range lois {
+		headers = append(headers, fmt.Sprintf("LoI=%d", int(l*100)))
+	}
+	tb := textplot.NewTable("sensitivity to interference", headers...)
+	row := []any{"rel perf"}
+	idx := make([]int, len(rep.Relative))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		row = append(row, fmt.Sprintf("%.3f", rep.Relative[i]))
+	}
+	tb.AddRow(row...)
+	fmt.Print(tb.String())
+	fmt.Printf("interference coefficient: mean %.3f (min %.3f, max %.3f)\n",
+		rep.ICMean, rep.ICLo, rep.ICHi)
+	fmt.Printf("deployment advice: %s\n", rep.DeploymentAdvice())
+}

@@ -1,0 +1,74 @@
+// Capacity walks the §4.1 deployment decision flow for a memory-pooled
+// system: given a workload, how much of its footprint can be served from
+// the pool before the slow tier becomes the bottleneck, and what does that
+// mean for the number of compute nodes a job needs?
+//
+// The example combines the bandwidth-capacity scaling curve (which fraction
+// of pages carries which fraction of traffic), the Level-2 reference points,
+// and the Level-3 sensitivity measurement into a per-workload sizing
+// recommendation.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	profiler := repro.NewProfiler(repro.DefaultPlatform())
+
+	fractions := []float64{0.75, 0.50, 0.25} // local tier as fraction of peak
+	fmt.Println("=== Pool-capacity sizing per workload ===")
+	for _, entry := range repro.Workloads() {
+		fmt.Printf("\n%s\n", entry.Name)
+
+		// The scaling curve shows how concentrated the traffic is: a
+		// skewed curve means a small local tier can still capture most
+		// accesses (BFS, XSBench); a uniform curve means local capacity
+		// buys traffic share one-for-one (HPL, Hypre).
+		curve := profiler.ScalingCurve(entry, 1)
+		at25, at50 := accessAt(curve, 25), accessAt(curve, 50)
+		fmt.Printf("  traffic captured by hottest 25%%/50%% of pages: %.0f%% / %.0f%%\n", at25, at50)
+
+		// Sweep pooled fractions: find the largest pool share whose
+		// compute phase stays within the tuning band and loses < 5%
+		// at LoI=50.
+		best := -1.0
+		for _, frac := range fractions {
+			l2 := profiler.Level2(entry, 1, frac)
+			l3 := profiler.Level3(entry, 1, frac, []float64{0, 0.5})
+			dom, ok := l2.DominantPhase(profiler.ConfigForLocalFraction(entry, 1, frac))
+			if !ok {
+				continue
+			}
+			loss := 1 - l3.Relative[len(l3.Relative)-1]
+			fmt.Printf("  local=%2.0f%%: dominant phase %s remote access %5.1f%% (%s), loss at LoI=50: %4.1f%%\n",
+				frac*100, dom.Name, dom.RemoteAccessRatio*100, l2.Verdict(dom), loss*100)
+			if loss < 0.05 && 1-frac > best {
+				best = 1 - frac
+			}
+		}
+		switch {
+		case best >= 0.74:
+			fmt.Printf("  => tolerates 75%% pooling: lean on the pool, cut node count\n")
+		case best > 0:
+			fmt.Printf("  => up to %.0f%% pooling within a 5%% interference budget\n", best*100)
+		default:
+			fmt.Printf("  => interference-sensitive: keep the working set node-local or scale out\n")
+		}
+	}
+}
+
+// accessAt interpolates the cumulative access share at a footprint percent.
+func accessAt(curve []repro.ScalingPoint, pct float64) float64 {
+	for _, p := range curve {
+		if p.FootprintPct >= pct {
+			return p.AccessPct
+		}
+	}
+	if len(curve) > 0 {
+		return curve[len(curve)-1].AccessPct
+	}
+	return 0
+}

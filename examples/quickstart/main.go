@@ -1,0 +1,54 @@
+// Quickstart: run the paper's three-level profiling workflow on one
+// workload, from general characteristics to multi-tier access ratios to
+// interference sensitivity — the Figure 4 workflow in ~60 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	platform := repro.DefaultPlatform()
+	profiler := repro.NewProfiler(platform)
+
+	entry, err := repro.Workload("Hypre")
+	if err != nil {
+		panic(err)
+	}
+
+	// Level 1: intrinsic requirements on the memory system — preserved
+	// across memory configurations.
+	l1 := profiler.Level1(entry, 1)
+	fmt.Printf("=== Level 1: %s ===\n", entry.Name)
+	fmt.Printf("peak footprint: %.1f MiB\n", float64(l1.PeakFootprint)/(1<<20))
+	for _, ph := range l1.Phases {
+		fmt.Printf("  phase %-3s AI=%.3f flop/B  throughput=%.2f Gflop/s  bandwidth=%.1f GB/s\n",
+			ph.Name, ph.AI, ph.Throughput/1e9, ph.Bandwidth/1e9)
+	}
+	fmt.Printf("prefetching: accuracy %.0f%%, coverage %.0f%%, performance gain %.0f%%\n\n",
+		l1.Accuracy*100, l1.Coverage*100, l1.PerformanceGain*100)
+
+	// Level 2: the same application on a 50%-50% two-tier system. The two
+	// reference points R_cap and R_BW bound the tuning space.
+	l2 := profiler.Level2(entry, 1, 0.5)
+	fmt.Println("=== Level 2: 50%-50% two-tier system ===")
+	fmt.Printf("references: R_cap=%.0f%%  R_BW=%.0f%%\n", l2.RCap*100, l2.RBW*100)
+	for _, ph := range l2.Phases {
+		fmt.Printf("  phase %-3s remote access %.1f%%  -> %s\n",
+			ph.Name, ph.RemoteAccessRatio*100, l2.Verdict(ph))
+	}
+	fmt.Println()
+
+	// Level 3: sensitivity to memory-pool interference, and the
+	// interference the application itself induces.
+	l3 := profiler.Level3(entry, 1, 0.5, []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5})
+	fmt.Println("=== Level 3: interference on memory pooling ===")
+	for i, loi := range l3.LoIs {
+		fmt.Printf("  LoI=%2.0f%%: relative performance %.3f\n", loi*100, l3.Relative[i])
+	}
+	fmt.Printf("induced interference coefficient: %.3f (min %.3f, max %.3f)\n",
+		l3.ICMean, l3.ICLo, l3.ICHi)
+	fmt.Printf("deployment advice: %s\n", l3.DeploymentAdvice())
+}

@@ -1,0 +1,459 @@
+// Package cache models the L2 data cache and its hardware prefetcher, the
+// level the paper instruments for prefetch analysis (§4.2): the core
+// prefetcher sits at L2 on Skylake-X, and the counters PF_L2_DATA_RD,
+// PF_L2_RFO, L2_LINES_IN and USELESS_HWPF are all L2 events.
+//
+// The model is a set-associative LRU cache plus a streamer-style prefetcher
+// that detects unit-stride (and small-stride) streams within a page and runs
+// a configurable number of lines ahead. Fills call back into the memory
+// model so traffic is attributed to the serving tier, and the counter set
+// mirrors the paper's equations (1) and (2) for accuracy and coverage.
+package cache
+
+import "fmt"
+
+// LineSize is the cacheline granularity in bytes.
+const LineSize = 64
+
+// FillReason distinguishes demand fills from prefetch fills.
+type FillReason int
+
+const (
+	// FillDemand is a fill triggered by a demand miss the stream detector
+	// could not predict (a latency-exposed miss).
+	FillDemand FillReason = iota
+	// FillPrefetch is a fill triggered by the hardware prefetcher.
+	FillPrefetch
+	// FillDemandStream is a demand fill that followed a detected stream:
+	// with the prefetcher disabled these misses are still overlapped by
+	// out-of-order execution, so the timing model treats them as
+	// bandwidth-bound (at a penalty) rather than latency-exposed.
+	FillDemandStream
+)
+
+// NumFillReasons is the number of FillReason values.
+const NumFillReasons = 3
+
+// Config describes the cache geometry and the prefetcher.
+type Config struct {
+	// Size is the cache capacity in bytes. Defaults to 1 MiB.
+	Size int
+	// Ways is the associativity. Defaults to 16.
+	Ways int
+	// PrefetchEnabled mirrors the two LSBs of MSR 0x1a4: when false the
+	// hardware prefetcher is fully disabled.
+	PrefetchEnabled bool
+	// PrefetchDegree is how many lines ahead the streamer runs once a
+	// stream is confirmed. Defaults to 4.
+	PrefetchDegree int
+	// PrefetchStreams is the number of concurrently tracked streams.
+	// Defaults to 16.
+	PrefetchStreams int
+	// PageSize bounds prefetches: the streamer never crosses a page
+	// boundary (physical prefetchers cannot). Defaults to 4096.
+	PageSize uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size == 0 {
+		c.Size = 1 << 20
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+	if c.PrefetchDegree == 0 {
+		c.PrefetchDegree = 4
+	}
+	if c.PrefetchStreams == 0 {
+		c.PrefetchStreams = 16
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	return c
+}
+
+// Counters is the paper-aligned counter set, all in cacheline units.
+type Counters struct {
+	// DemandAccesses is the number of L2 lookups.
+	DemandAccesses uint64
+	// DemandHits is lookups that hit (including hits on prefetched lines).
+	DemandHits uint64
+	// DemandMisses is lookups that missed and triggered a demand fill.
+	DemandMisses uint64
+	// LinesIn is every line filled into the cache (L2_LINES_IN): demand
+	// fills plus prefetch fills.
+	LinesIn uint64
+	// PrefetchFills is lines filled by the prefetcher
+	// (PF_L2_DATA_RD + PF_L2_RFO).
+	PrefetchFills uint64
+	// UselessPrefetch is prefetched lines evicted before any demand hit
+	// (USELESS_HWPF).
+	UselessPrefetch uint64
+	// PrefetchedHits is demand hits whose line was brought in by the
+	// prefetcher and had not been hit before (first-use hits).
+	PrefetchedHits uint64
+	// DemandMissStream is the subset of DemandMisses that followed a
+	// detected stream (predictable misses).
+	DemandMissStream uint64
+}
+
+// Accuracy implements the paper's equation (1):
+// (PF - USELESS) / PF. It returns 1 when no prefetches were issued.
+func (c Counters) Accuracy() float64 {
+	if c.PrefetchFills == 0 {
+		return 1
+	}
+	return float64(c.PrefetchFills-c.UselessPrefetch) / float64(c.PrefetchFills)
+}
+
+// Coverage implements the paper's equation (2):
+// (PF - USELESS) / (LINES_IN - USELESS). It returns 0 when nothing was
+// filled.
+func (c Counters) Coverage() float64 {
+	den := c.LinesIn - c.UselessPrefetch
+	if den == 0 {
+		return 0
+	}
+	return float64(c.PrefetchFills-c.UselessPrefetch) / float64(den)
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag        uint64 // line address (addr >> 6)
+	valid      bool
+	lru        uint64
+	prefetched bool // filled by prefetcher and not yet demand-hit
+}
+
+// Throttle thresholds: the streamer measures its own accuracy over windows
+// of issued prefetches and adapts its aggressiveness, mirroring how real
+// prefetchers back off when accuracy is low (the paper observes XSBench's
+// excess prefetch traffic staying low despite poor accuracy for exactly
+// this reason).
+const (
+	throttleWindow  = 256
+	throttleLowAcc  = 0.30
+	throttleHalfAcc = 0.60
+)
+
+// stream is one tracked prefetch stream.
+type stream struct {
+	page     uint64 // page index
+	lastLine uint64 // last line address observed
+	dir      int64  // +1 or -1
+	conf     int    // confidence: confirmations of the direction
+	lru      uint64
+	valid    bool
+}
+
+// Cache is the L2 model. It is not safe for concurrent use; the emulated
+// platform is single-node and the workloads drive it from one goroutine.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	nsets    uint64
+	clock    uint64
+	streams  []stream
+	ctr      Counters
+	fill     func(lineAddr uint64, reason FillReason)
+	disabled bool // runtime prefetch disable (MSR write)
+
+	// Throttle state: accuracy over the last window of issued prefetches.
+	throttleLevel int // 0 = full degree, 1 = half, 2 = probe only
+	winPF, winUse uint64
+}
+
+// New creates a cache; fill is invoked for every line filled from memory
+// (demand or prefetch) with the line's base address.
+func New(cfg Config, fill func(lineAddr uint64, reason FillReason)) *Cache {
+	c := cfg.withDefaults()
+	nlines := c.Size / LineSize
+	nsets := nlines / c.Ways
+	if nsets == 0 {
+		nsets = 1
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*c.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:c.Ways:c.Ways], backing[c.Ways:]
+	}
+	return &Cache{
+		cfg:      c,
+		sets:     sets,
+		nsets:    uint64(nsets),
+		streams:  make([]stream, c.PrefetchStreams),
+		fill:     fill,
+		disabled: !c.PrefetchEnabled,
+	}
+}
+
+// SetPrefetchEnabled toggles the hardware prefetcher at run time, the
+// equivalent of writing MSR 0x1a4.
+func (c *Cache) SetPrefetchEnabled(on bool) { c.disabled = !on }
+
+// PrefetchEnabled reports whether the prefetcher is active.
+func (c *Cache) PrefetchEnabled() bool { return !c.disabled }
+
+// Counters returns a copy of the counter set.
+func (c *Cache) Counters() Counters { return c.ctr }
+
+// ResetCounters clears the counters without flushing cache contents
+// (phase boundary).
+func (c *Cache) ResetCounters() { c.ctr = Counters{} }
+
+// Flush invalidates all lines and stream state. Unused prefetched lines
+// count as useless, as they would on eviction.
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.prefetched {
+				c.ctr.UselessPrefetch++
+			}
+			l.valid = false
+		}
+	}
+	for i := range c.streams {
+		c.streams[i].valid = false
+	}
+}
+
+// Access performs one demand access to addr (byte address). The write flag
+// is accepted for API symmetry; the model treats reads and writes alike
+// (write-allocate, fills counted as traffic).
+func (c *Cache) Access(addr uint64, write bool) {
+	_ = write
+	la := addr / LineSize
+	c.clock++
+	c.ctr.DemandAccesses++
+	set := c.sets[la%c.nsets]
+	if l := c.lookup(set, la); l != nil {
+		c.ctr.DemandHits++
+		if l.prefetched {
+			c.ctr.PrefetchedHits++
+			l.prefetched = false
+		}
+		l.lru = c.clock
+	} else {
+		c.ctr.DemandMisses++
+		reason := FillDemand
+		if c.streamPredicted(la) {
+			reason = FillDemandStream
+			c.ctr.DemandMissStream++
+		}
+		c.insert(la, false)
+		if c.fill != nil {
+			c.fill(la*LineSize, reason)
+		}
+	}
+	// Stream detection always trains (out-of-order execution exploits the
+	// same predictability); the MSR toggle only gates prefetch issue.
+	if st := c.train(la); st != nil && !c.disabled {
+		c.issue(st, la)
+	}
+}
+
+// streamPredicted reports whether line la continues a confirmed stream —
+// evaluated before the stream table is trained with la itself.
+func (c *Cache) streamPredicted(la uint64) bool {
+	pageIdx := la / c.linesPerPage()
+	for i := range c.streams {
+		st := &c.streams[i]
+		if !st.valid || st.page != pageIdx || st.conf < 2 || st.dir == 0 {
+			continue
+		}
+		delta := int64(la) - int64(st.lastLine)
+		if delta*st.dir >= 1 && delta*st.dir <= int64(c.cfg.PrefetchDegree)+2 {
+			return true
+		}
+	}
+	return false
+}
+
+// AccessRange performs sequential demand accesses covering [addr, addr+n).
+func (c *Cache) AccessRange(addr, n uint64, write bool) {
+	if n == 0 {
+		return
+	}
+	first := addr / LineSize
+	last := (addr + n - 1) / LineSize
+	for la := first; la <= last; la++ {
+		c.Access(la*LineSize, write)
+	}
+}
+
+func (c *Cache) lookup(set []line, la uint64) *line {
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert fills line la, evicting LRU if needed; prefetched marks the fill
+// as a prefetch fill.
+func (c *Cache) insert(la uint64, prefetched bool) {
+	set := c.sets[la%c.nsets]
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	if victim.valid && victim.prefetched {
+		c.ctr.UselessPrefetch++
+	}
+	victim.tag = la
+	victim.valid = true
+	victim.lru = c.clock
+	victim.prefetched = prefetched
+	c.ctr.LinesIn++
+	if prefetched {
+		c.ctr.PrefetchFills++
+	}
+}
+
+// linesPerPage returns the number of cachelines per page.
+func (c *Cache) linesPerPage() uint64 { return c.cfg.PageSize / LineSize }
+
+// train updates the stream table with a demand access and returns the
+// stream la belongs to (nil while direction is still unknown).
+func (c *Cache) train(la uint64) *stream {
+	pageIdx := la / c.linesPerPage()
+	var st *stream
+	for i := range c.streams {
+		if c.streams[i].valid && c.streams[i].page == pageIdx {
+			st = &c.streams[i]
+			break
+		}
+	}
+	if st == nil {
+		// Allocate an entry (LRU replacement) and wait for a second
+		// access to establish direction.
+		victim := &c.streams[0]
+		for i := range c.streams {
+			if !c.streams[i].valid {
+				victim = &c.streams[i]
+				break
+			}
+			if c.streams[i].lru < victim.lru {
+				victim = &c.streams[i]
+			}
+		}
+		*victim = stream{page: pageIdx, lastLine: la, dir: 0, conf: 0, lru: c.clock, valid: true}
+		return nil
+	}
+	st.lru = c.clock
+	delta := int64(la) - int64(st.lastLine)
+	st.lastLine = la
+	if delta == 0 {
+		return nil
+	}
+	dir := int64(1)
+	if delta < 0 {
+		dir = -1
+	}
+	// Streamer behaviour: near-unit strides sustain a stream; jumps reset.
+	if delta == st.dir || (st.dir == 0 && (delta == 1 || delta == -1)) {
+		if st.dir == 0 {
+			st.dir = delta
+		}
+		st.conf++
+	} else if delta*dir <= 2 && dir == sign(st.dir) {
+		// Small same-direction stride: keep the stream, lower confidence.
+		if st.conf > 0 {
+			st.conf--
+		}
+	} else {
+		st.dir = 0
+		st.conf = 0
+		return nil
+	}
+	return st
+}
+
+// issue runs the streamer ahead of a trained stream, subject to the
+// accuracy throttle.
+func (c *Cache) issue(st *stream, la uint64) {
+	conf := 2
+	degree := c.cfg.PrefetchDegree
+	switch c.throttleLevel {
+	case 1:
+		if degree > 1 {
+			degree /= 2
+		}
+	case 2:
+		degree = 1
+		conf = 4
+	}
+	if st.conf < conf {
+		return
+	}
+	// Confirmed stream: run degree lines ahead, within the page.
+	pageIdx := st.page
+	lpp := c.linesPerPage()
+	pageFirst := pageIdx * lpp
+	pageLast := pageFirst + lpp - 1
+	next := la
+	for i := 0; i < degree; i++ {
+		ni := int64(next) + st.dir
+		if ni < int64(pageFirst) || ni > int64(pageLast) {
+			break
+		}
+		next = uint64(ni)
+		set := c.sets[next%c.nsets]
+		if c.lookup(set, next) != nil {
+			continue
+		}
+		c.insert(next, true)
+		if c.fill != nil {
+			c.fill(next*LineSize, FillPrefetch)
+		}
+	}
+	c.updateThrottle()
+}
+
+// updateThrottle recomputes the throttle level once per window of issued
+// prefetches, from the accuracy observed over that window.
+func (c *Cache) updateThrottle() {
+	issued := c.ctr.PrefetchFills - c.winPF
+	if issued < throttleWindow {
+		return
+	}
+	useless := c.ctr.UselessPrefetch - c.winUse
+	acc := 1 - float64(useless)/float64(issued)
+	switch {
+	case acc < throttleLowAcc:
+		c.throttleLevel = 2
+	case acc < throttleHalfAcc:
+		c.throttleLevel = 1
+	default:
+		c.throttleLevel = 0
+	}
+	c.winPF = c.ctr.PrefetchFills
+	c.winUse = c.ctr.UselessPrefetch
+}
+
+func sign(x int64) int64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// String renders the counters compactly for debugging.
+func (c Counters) String() string {
+	return fmt.Sprintf("acc=%d hit=%d miss=%d in=%d pf=%d useless=%d (acc=%.2f cov=%.2f)",
+		c.DemandAccesses, c.DemandHits, c.DemandMisses, c.LinesIn,
+		c.PrefetchFills, c.UselessPrefetch, c.Accuracy(), c.Coverage())
+}

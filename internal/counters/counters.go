@@ -1,0 +1,70 @@
+// Package counters maps the hardware performance events named in the paper
+// (§3.1) onto the simulator's native counters, so profiler reports can speak
+// the same vocabulary as the paper: offcore response events for memory
+// traffic, L2 prefetch events for the §4.2 analysis, and UPI traffic for the
+// link.
+package counters
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+)
+
+// Event names, matching the paper's Skylake-X event list.
+const (
+	// OffcoreL3Miss counts cachelines loaded from memory, including
+	// hardware prefetches (OFFCORE_RESPONSE:L3_MISS).
+	OffcoreL3Miss = "OFFCORE_RESPONSE.L3_MISS"
+	// OffcoreLocalDRAM counts lines served by the local tier.
+	OffcoreLocalDRAM = "OFFCORE_RESPONSE.L3_MISS.LOCAL_DRAM"
+	// OffcoreRemoteDRAM counts lines served by the remote tier.
+	OffcoreRemoteDRAM = "OFFCORE_RESPONSE.L3_MISS.REMOTE_DRAM"
+	// PFL2 counts prefetch fills into L2 (PF_L2_DATA_RD + PF_L2_RFO).
+	PFL2 = "PF_L2_DATA_RD+PF_L2_RFO"
+	// L2LinesIn counts all L2 fills.
+	L2LinesIn = "L2_LINES_IN"
+	// UselessHWPF counts prefetched lines evicted unused.
+	UselessHWPF = "USELESS_HWPF"
+	// L2DemandMiss counts demand misses at L2.
+	L2DemandMiss = "L2_RQSTS.MISS"
+	// L2DemandHit counts demand hits at L2.
+	L2DemandHit = "L2_RQSTS.HIT"
+	// UPITraffic is raw link traffic in bytes (PCM sktXtraffic),
+	// including protocol overhead.
+	UPITraffic = "UPI.TRAFFIC_BYTES"
+)
+
+// FromPhase derives the event values for a recorded phase.
+func FromPhase(cfg machine.Config, p machine.PhaseStats) map[string]uint64 {
+	remoteLines := uint64(0)
+	localLines := uint64(0)
+	if p.TotalBytes() > 0 {
+		remoteLines = p.RemoteBytes / cache.LineSize
+		localLines = p.LocalBytes / cache.LineSize
+	}
+	raw := float64(p.RemoteBytes) * cfg.Link.Overhead
+	return map[string]uint64{
+		OffcoreL3Miss:     p.Cache.LinesIn,
+		OffcoreLocalDRAM:  localLines,
+		OffcoreRemoteDRAM: remoteLines,
+		PFL2:              p.Cache.PrefetchFills,
+		L2LinesIn:         p.Cache.LinesIn,
+		UselessHWPF:       p.Cache.UselessPrefetch,
+		L2DemandMiss:      p.Cache.DemandMisses,
+		L2DemandHit:       p.Cache.DemandHits,
+		UPITraffic:        uint64(raw),
+	}
+}
+
+// Names returns all event names in stable order.
+func Names() []string {
+	names := []string{
+		OffcoreL3Miss, OffcoreLocalDRAM, OffcoreRemoteDRAM,
+		PFL2, L2LinesIn, UselessHWPF, L2DemandMiss, L2DemandHit,
+		UPITraffic,
+	}
+	sort.Strings(names)
+	return names
+}

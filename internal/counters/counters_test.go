@@ -1,0 +1,49 @@
+package counters
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestFromPhaseBasics(t *testing.T) {
+	cfg := machine.Default()
+	m := machine.New(cfg.WithLocalCapacity(64 * 1024))
+	r := m.Alloc("a", 256*1024)
+	m.StartPhase("p")
+	m.Read(r.Base, 256*1024)
+	p := m.EndPhase()
+
+	ev := FromPhase(cfg, p)
+	if ev[OffcoreL3Miss] == 0 {
+		t.Errorf("no offcore misses recorded")
+	}
+	if ev[OffcoreRemoteDRAM] == 0 {
+		t.Errorf("no remote DRAM lines despite spill")
+	}
+	if ev[L2LinesIn] != ev[OffcoreL3Miss] {
+		t.Errorf("L2_LINES_IN (%d) should equal offcore L3 miss lines (%d)",
+			ev[L2LinesIn], ev[OffcoreL3Miss])
+	}
+	if ev[UPITraffic] <= ev[OffcoreRemoteDRAM]*64 {
+		t.Errorf("UPI raw traffic %d should exceed remote payload %d (protocol overhead)",
+			ev[UPITraffic], ev[OffcoreRemoteDRAM]*64)
+	}
+	// Local + remote lines account for all filled lines.
+	if ev[OffcoreLocalDRAM]+ev[OffcoreRemoteDRAM] != ev[L2LinesIn] {
+		t.Errorf("local(%d)+remote(%d) != linesIn(%d)",
+			ev[OffcoreLocalDRAM], ev[OffcoreRemoteDRAM], ev[L2LinesIn])
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	a, b := Names(), Names()
+	if len(a) != 9 {
+		t.Fatalf("got %d names, want 9", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("names not stable at %d", i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/textplot"
+	"repro/internal/units"
+	"repro/internal/workloads"
+	"repro/internal/workloads/bfs"
+	"repro/internal/workloads/registry"
+)
+
+// Figure12Cell is the BFS case-study measurement for one (pooling level,
+// variant) pair.
+type Figure12Cell struct {
+	PooledFraction float64 // remote share of capacity (0.5 or 0.75)
+	Variant        bfs.Variant
+	// Runtime is modeled run time on the idle system.
+	Runtime float64
+	// RemoteBytes is total remote traffic.
+	RemoteBytes uint64
+	// RemoteAccessRatio of the search phase (p2), the paper's headline
+	// metric ("99% remote access" at 75% pooling).
+	RemoteAccessRatio float64
+	// Sensitivity[i] is relative performance at LoILevels[i].
+	Sensitivity []float64
+}
+
+// Figure12Result is the §7.1 data-placement case study.
+type Figure12Result struct {
+	Cells []Figure12Cell
+	LoIs  []float64
+}
+
+// bfsEntry wraps a BFS variant as a registry entry so the profiler's
+// capacity protocol applies unchanged.
+func bfsEntry(v bfs.Variant) registry.Entry {
+	return registry.Entry{
+		Name:   "BFS-" + v.String(),
+		Phases: []string{"p1", "p2"},
+		New: func(scale int) workloads.Workload {
+			b := bfs.New(scale)
+			b.Variant = v
+			return b
+		},
+	}
+}
+
+// Figure12 profiles baseline and optimized BFS at 50% and 75% pooling.
+//
+// The capacity protocol follows the paper: the local tier is sized against
+// the baseline variant's peak usage in both cases, so the optimized variant
+// is measured on the identical machine rather than a machine resized to its
+// own (smaller) footprint.
+func (s *Suite) Figure12() Figure12Result {
+	res := Figure12Result{LoIs: LoILevels}
+	baseline := bfsEntry(bfs.Baseline)
+	for _, pooled := range []float64{0.50, 0.75} {
+		cfg := s.Profiler.ConfigForLocalFraction(baseline, 1, 1-pooled)
+		for _, v := range []bfs.Variant{bfs.Baseline, bfs.ReorderOnly, bfs.Optimized} {
+			m := runOn(cfg, bfsEntry(v), 1)
+			cell := Figure12Cell{PooledFraction: pooled, Variant: v}
+			var remote uint64
+			for _, ph := range m.Phases() {
+				remote += ph.RemoteBytes
+			}
+			cell.Runtime = cfg.RunTime(m.Phases(), 0)
+			cell.RemoteBytes = remote
+			if p2, ok := m.Phase("p2"); ok && p2.TotalBytes() > 0 {
+				cell.RemoteAccessRatio = float64(p2.RemoteBytes) / float64(p2.TotalBytes())
+			}
+			for _, loi := range LoILevels {
+				cell.Sensitivity = append(cell.Sensitivity, cfg.Sensitivity(m.Phases(), loi))
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure12Result) ID() string { return "figure12" }
+
+// Render prints runtime, remote traffic, and sensitivity per cell.
+func (r Figure12Result) Render() string {
+	tb := textplot.NewTable("Figure 12: BFS data-placement optimization",
+		"Pooled", "Variant", "Runtime (s)", "Remote bytes", "%RemoteAccess", "Rel perf @LoI=50")
+	for _, c := range r.Cells {
+		last := 1.0
+		if n := len(c.Sensitivity); n > 0 {
+			last = c.Sensitivity[n-1]
+		}
+		tb.AddRow(
+			units.Percent(c.PooledFraction),
+			c.Variant.String(),
+			fmt.Sprintf("%.4f", c.Runtime),
+			units.Bytes(c.RemoteBytes),
+			units.Percent(c.RemoteAccessRatio),
+			fmt.Sprintf("%.3f", last))
+	}
+	out := tb.String()
+	// Improvement summary lines, matching the paper's headline numbers.
+	byKey := map[string]Figure12Cell{}
+	for _, c := range r.Cells {
+		byKey[fmt.Sprintf("%.0f-%s", c.PooledFraction*100, c.Variant)] = c
+	}
+	for _, pooled := range []string{"50", "75"} {
+		b, okB := byKey[pooled+"-baseline"]
+		o, okO := byKey[pooled+"-optimized"]
+		if !okB || !okO || o.Runtime <= 0 {
+			continue
+		}
+		out += fmt.Sprintf("\n%s%% pooled: speedup %.1f%%, remote access %s -> %s, remote bytes -%.0f%%",
+			pooled, 100*(b.Runtime/o.Runtime-1),
+			units.Percent(b.RemoteAccessRatio), units.Percent(o.RemoteAccessRatio),
+			100*(1-float64(o.RemoteBytes)/float64(b.RemoteBytes)))
+	}
+	return out + "\n"
+}
+
+// Figure13Result is the interference-aware scheduling study.
+type Figure13Result struct {
+	Summaries []sched.Summary
+}
+
+// Figure13 runs every workload (at 50% pooling) s.Runs times under the
+// baseline (LoI 0-50%) and interference-aware (LoI 0-20%) schedulers.
+func (s *Suite) Figure13() Figure13Result {
+	var res Figure13Result
+	for i, e := range s.Entries {
+		rep := s.Profiler.Level2(e, 1, 0.50)
+		cfg := s.Profiler.ConfigForLocalFraction(e, 1, 0.50)
+		res.Summaries = append(res.Summaries,
+			sched.Compare(e.Name, cfg, rep.Phase2Stats, s.Runs, 1000+uint64(i)*17))
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure13Result) ID() string { return "figure13" }
+
+// Render prints five-number summaries and box plots per workload.
+func (r Figure13Result) Render() string {
+	tb := textplot.NewTable("Figure 13: execution time over 100 runs, baseline vs interference-aware",
+		"Workload", "Sched", "Min", "Q1", "Median", "Q3", "Max", "Mean speedup", "P75 cut")
+	out := ""
+	for _, s := range r.Summaries {
+		b, a := s.Baseline, s.Aware
+		tb.AddRow(s.Workload, "baseline",
+			fmt.Sprintf("%.4f", b.Min), fmt.Sprintf("%.4f", b.Q1), fmt.Sprintf("%.4f", b.Median),
+			fmt.Sprintf("%.4f", b.Q3), fmt.Sprintf("%.4f", b.Max), "", "")
+		tb.AddRow("", "i-aware",
+			fmt.Sprintf("%.4f", a.Min), fmt.Sprintf("%.4f", a.Q1), fmt.Sprintf("%.4f", a.Median),
+			fmt.Sprintf("%.4f", a.Q3), fmt.Sprintf("%.4f", a.Max),
+			units.Percent(s.MeanSpeedup), units.Percent(s.P75Reduction))
+		lo, hi := a.Min, b.Max
+		if b.Min < lo {
+			lo = b.Min
+		}
+		if a.Max > hi {
+			hi = a.Max
+		}
+		out += textplot.Box(fmt.Sprintf("%-8s baseline", s.Workload), b.Min, b.Q1, b.Median, b.Q3, b.Max, lo, hi, 44) + "\n"
+		out += textplot.Box(fmt.Sprintf("%-8s i-aware ", s.Workload), a.Min, a.Q1, a.Median, a.Q3, a.Max, lo, hi, 44) + "\n"
+	}
+	return tb.String() + "\n" + out
+}
+
+// runOn executes a fresh workload instance on the given config.
+func runOn(cfg machine.Config, e registry.Entry, scale int) *machine.Machine {
+	return core.Run(cfg, e.New(scale))
+}

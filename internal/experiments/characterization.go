@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/roofline"
+	"repro/internal/textplot"
+	"repro/internal/units"
+)
+
+// Figure5Point is one per-phase roofline point.
+type Figure5Point struct {
+	Label      string // e.g. "HPL-p1"
+	AI         float64
+	Throughput float64
+	Bound      roofline.Bound
+}
+
+// Figure5Result is the roofline model with per-phase workload points.
+type Figure5Result struct {
+	Model  roofline.Model
+	Points []Figure5Point
+}
+
+// Figure5 profiles every workload at scale 1 on the single-tier system and
+// places each phase on the platform roofline.
+func (s *Suite) Figure5() Figure5Result {
+	res := Figure5Result{Model: s.Profiler.RooflineModel()}
+	for _, e := range s.Entries {
+		rep := s.Profiler.Level1(e, 1)
+		for _, ph := range rep.Phases {
+			if ph.Stats.Flops == 0 {
+				// Integer-only phases (BFS) have no roofline placement;
+				// the paper's Figure 5 omits them as well.
+				continue
+			}
+			res.Points = append(res.Points, Figure5Point{
+				Label:      fmt.Sprintf("%s-%s", e.Name, ph.Name),
+				AI:         ph.AI,
+				Throughput: ph.Throughput,
+				Bound:      res.Model.Classify(ph.AI),
+			})
+		}
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure5Result) ID() string { return "figure5" }
+
+// Render prints the roofline table: per-phase AI, throughput, attainable
+// peak on the single-tier roof and with the added tier (the dashed line).
+func (r Figure5Result) Render() string {
+	tb := textplot.NewTable("Figure 5: roofline placement of workload phases",
+		"Phase", "AI (flop/B)", "Throughput", "Roof (1 tier)", "Roof (2 tiers)", "Bound")
+	for _, p := range r.Points {
+		tb.AddRow(p.Label,
+			fmt.Sprintf("%.3f", p.AI),
+			units.Flops(p.Throughput),
+			units.Flops(r.Model.Attainable(p.AI)),
+			units.Flops(r.Model.AttainableAggregate(p.AI)),
+			p.Bound.String())
+	}
+	pl := textplot.NewPlot("Roofline (log-log placement rendered linearly)", "AI flop/B", "Gflop/s")
+	var xs, ys []float64
+	for _, p := range r.Points {
+		xs = append(xs, p.AI)
+		ys = append(ys, p.Throughput/1e9)
+	}
+	pl.Add("phases", xs, ys)
+	return tb.String() + "\n" + pl.String()
+}
+
+// Figure6Curve is the bandwidth-capacity scaling curve of one workload at
+// one input scale.
+type Figure6Curve struct {
+	Workload string
+	Scale    int
+	Points   []core.ScalingPoint
+}
+
+// AccessAtFootprint interpolates the cumulative access share at a footprint
+// percentage.
+func (c Figure6Curve) AccessAtFootprint(pct float64) float64 {
+	for _, p := range c.Points {
+		if p.FootprintPct >= pct {
+			return p.AccessPct
+		}
+	}
+	if n := len(c.Points); n > 0 {
+		return c.Points[n-1].AccessPct
+	}
+	return 0
+}
+
+// Figure6Result is the set of CDFs for six applications at three scales.
+type Figure6Result struct {
+	Curves []Figure6Curve
+}
+
+// Figure6 builds the cumulative access-vs-footprint distribution for every
+// workload at input scales 1, 2, 4.
+func (s *Suite) Figure6() Figure6Result {
+	var res Figure6Result
+	for _, e := range s.Entries {
+		for _, scale := range []int{1, 2, 4} {
+			res.Curves = append(res.Curves, Figure6Curve{
+				Workload: e.Name,
+				Scale:    scale,
+				Points:   s.Profiler.ScalingCurve(e, scale),
+			})
+		}
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure6Result) ID() string { return "figure6" }
+
+// Render prints, per workload, the access share captured by the hottest
+// 10/25/50/75% of pages at each scale, plus the per-workload CDF plot.
+func (r Figure6Result) Render() string {
+	tb := textplot.NewTable("Figure 6: bandwidth-capacity scaling (cumulative access share by hottest pages)",
+		"Workload", "Scale", "@10% fp", "@25% fp", "@50% fp", "@75% fp")
+	for _, c := range r.Curves {
+		tb.AddRow(c.Workload, fmt.Sprintf("x%d", c.Scale),
+			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(10)),
+			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(25)),
+			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(50)),
+			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(75)))
+	}
+	out := tb.String()
+	// One compact plot per workload with its three scales.
+	byWorkload := map[string][]Figure6Curve{}
+	var order []string
+	for _, c := range r.Curves {
+		if _, ok := byWorkload[c.Workload]; !ok {
+			order = append(order, c.Workload)
+		}
+		byWorkload[c.Workload] = append(byWorkload[c.Workload], c)
+	}
+	for _, w := range order {
+		pl := textplot.NewPlot(fmt.Sprintf("%s: %%access vs %%footprint", w), "%footprint", "%access")
+		pl.Rows = 12
+		for _, c := range byWorkload[w] {
+			var xs, ys []float64
+			for _, p := range c.Points {
+				xs = append(xs, p.FootprintPct)
+				ys = append(ys, p.AccessPct)
+			}
+			pl.Add(fmt.Sprintf("x%d", c.Scale), xs, ys)
+		}
+		out += "\n" + pl.String()
+	}
+	return out
+}
+
+// Figure7Timeline is the fetched-cachelines timeline of one workload with
+// and without L2 prefetching.
+type Figure7Timeline struct {
+	Workload string
+	// On/Off are lines fetched per tick.
+	On, Off []float64
+}
+
+// Figure7Result covers the three applications of the paper's figure.
+type Figure7Result struct {
+	Timelines []Figure7Timeline
+}
+
+// Figure7Workloads is the subset the paper plots.
+var Figure7Workloads = []string{"NekRS", "HPL", "XSBench"}
+
+// Figure7 records compute-phase traffic timelines with the prefetcher
+// enabled and disabled.
+func (s *Suite) Figure7() Figure7Result {
+	var res Figure7Result
+	for _, e := range s.Entries {
+		if !contains(Figure7Workloads, e.Name) {
+			continue
+		}
+		rep := s.Profiler.Level1(e, 1)
+		tl := Figure7Timeline{Workload: e.Name}
+		for _, t := range rep.TimelineOn {
+			tl.On = append(tl.On, float64(t.LinesIn))
+		}
+		for _, t := range rep.TimelineOff {
+			tl.Off = append(tl.Off, float64(t.LinesIn))
+		}
+		res.Timelines = append(res.Timelines, tl)
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure7Result) ID() string { return "figure7" }
+
+// Render plots lines fetched per tick for each workload, prefetch on vs off.
+func (r Figure7Result) Render() string {
+	out := ""
+	for _, tl := range r.Timelines {
+		pl := textplot.NewPlot(
+			fmt.Sprintf("Figure 7 (%s): L2 cachelines fetched per step", tl.Workload),
+			"step", "lines")
+		pl.Rows = 12
+		pl.Add("w. prefetch", indices(len(tl.On)), tl.On)
+		pl.Add("w.o prefetch", indices(len(tl.Off)), tl.Off)
+		sumOn, sumOff := sum(tl.On), sum(tl.Off)
+		out += pl.String() + fmt.Sprintf("total lines: on=%.3g off=%.3g (+%.1f%%)\n\n",
+			sumOn, sumOff, 100*(sumOn/sumOff-1))
+	}
+	return out
+}
+
+// Figure8Row is the prefetch study of one workload.
+type Figure8Row struct {
+	Workload string
+	// Accuracy and Coverage are the paper's equations (1) and (2).
+	Accuracy, Coverage float64
+	// ExcessTraffic is total traffic with prefetch over without, minus 1.
+	ExcessTraffic float64
+	// PerformanceGain is runtime without prefetch over with, minus 1.
+	PerformanceGain float64
+}
+
+// Figure8Result is the prefetch suitability summary of §4.2.
+type Figure8Result struct {
+	Rows []Figure8Row
+}
+
+// Figure8 measures prefetch accuracy, coverage, excess traffic and
+// performance gain for every workload.
+func (s *Suite) Figure8() Figure8Result {
+	var res Figure8Result
+	for _, e := range s.Entries {
+		rep := s.Profiler.Level1(e, 1)
+		res.Rows = append(res.Rows, Figure8Row{
+			Workload:        e.Name,
+			Accuracy:        rep.Accuracy,
+			Coverage:        rep.Coverage,
+			ExcessTraffic:   rep.ExcessTraffic,
+			PerformanceGain: rep.PerformanceGain,
+		})
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure8Result) ID() string { return "figure8" }
+
+// Render prints the four prefetch metrics per workload.
+func (r Figure8Result) Render() string {
+	tb := textplot.NewTable("Figure 8: hardware prefetching suitability",
+		"Workload", "Accuracy", "Coverage", "Excess traffic", "Perf gain")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Workload,
+			units.Percent(row.Accuracy),
+			units.Percent(row.Coverage),
+			units.Percent(row.ExcessTraffic),
+			units.Percent(row.PerformanceGain))
+	}
+	bars := textplot.NewBarChart("Performance gain from prefetching")
+	bars.Unit = "%"
+	for _, row := range r.Rows {
+		bars.Add(row.Workload, row.PerformanceGain*100)
+	}
+	return tb.String() + "\n" + bars.String()
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func indices(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return xs
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

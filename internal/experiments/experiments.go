@@ -1,0 +1,111 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns a structured result whose Render
+// method prints the same rows/series the paper reports; the cmd/memdis CLI
+// and the root benchmark harness both call these drivers, so the printed
+// artifacts and the benchmarked work are identical.
+//
+// A Suite shares one profiler (and therefore its peak-footprint cache)
+// across drivers so that composite invocations such as `memdis all` probe
+// each workload input only once.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workloads/registry"
+)
+
+// Suite binds the experiment drivers to one platform configuration.
+type Suite struct {
+	// Cfg is the emulated platform.
+	Cfg machine.Config
+	// Profiler is shared across drivers (peak-usage cache).
+	Profiler *core.Profiler
+	// Entries is the workload table (registry.All by default).
+	Entries []registry.Entry
+	// Runs is the number of scheduler runs per configuration in Figure 13
+	// (100 in the paper; tests may lower it).
+	Runs int
+}
+
+// NewSuite returns a suite on the given platform with the paper's defaults.
+func NewSuite(cfg machine.Config) *Suite {
+	return &Suite{
+		Cfg:      cfg,
+		Profiler: core.NewProfiler(cfg),
+		Entries:  registry.All(),
+		Runs:     100,
+	}
+}
+
+// Default returns a suite on the default testbed-calibrated platform.
+func Default() *Suite { return NewSuite(machine.Default()) }
+
+// Result is the common interface of every experiment result.
+type Result interface {
+	// ID is the paper artifact name, e.g. "figure9".
+	ID() string
+	// Render prints the artifact as text.
+	Render() string
+}
+
+// LoILevels is the paper's interference sweep for Figure 10.
+var LoILevels = []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
+
+// CapacityFractions is the paper's local-capacity sweep: local tier sized to
+// 75%, 50% and 25% of the workload's peak usage (so the remote/pooled side
+// is 25%, 50% and 75%).
+var CapacityFractions = []float64{0.75, 0.50, 0.25}
+
+// IDs lists every experiment in paper order.
+var IDs = []string{
+	"figure1", "table1", "table2", "figure5", "figure6", "figure7",
+	"figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
+}
+
+// Run executes the experiment with the given ID.
+func (s *Suite) Run(id string) (Result, error) {
+	switch id {
+	case "figure1", "fig1":
+		return s.Figure1(), nil
+	case "table1":
+		return s.Table1(), nil
+	case "table2":
+		return s.Table2(), nil
+	case "figure5", "fig5":
+		return s.Figure5(), nil
+	case "figure6", "fig6":
+		return s.Figure6(), nil
+	case "figure7", "fig7":
+		return s.Figure7(), nil
+	case "figure8", "fig8":
+		return s.Figure8(), nil
+	case "figure9", "fig9":
+		return s.Figure9(), nil
+	case "figure10", "fig10":
+		return s.Figure10(), nil
+	case "figure11", "fig11":
+		return s.Figure11(), nil
+	case "figure12", "fig12":
+		return s.Figure12(), nil
+	case "figure13", "fig13":
+		return s.Figure13(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs, ", "))
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() []Result {
+	out := make([]Result, 0, len(IDs))
+	for _, id := range IDs {
+		r, err := s.Run(id)
+		if err != nil {
+			panic(err) // unreachable: IDs only contains known ids
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,437 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// sharedSuite caches one suite across tests; the drivers themselves memoize
+// peak footprints, so reuse keeps the package's test time bounded.
+var (
+	suiteOnce sync.Once
+	suite     *Suite
+)
+
+func testSuite() *Suite {
+	suiteOnce.Do(func() {
+		suite = NewSuite(machine.Default())
+		suite.Runs = 30 // enough for stable five-number summaries in tests
+	})
+	return suite
+}
+
+func findRow10(panel Figure10Config, name string) Figure10Row {
+	for _, r := range panel.Rows {
+		if r.Workload == name {
+			return r
+		}
+	}
+	return Figure10Row{}
+}
+
+func TestFigure1TimelineGrows(t *testing.T) {
+	r := testSuite().Figure1()
+	if len(r.Systems) < 8 {
+		t.Fatalf("timeline too short: %d", len(r.Systems))
+	}
+	first, last := r.Systems[0], r.Systems[len(r.Systems)-1]
+	if last.TotalPerNodeGB() <= first.TotalPerNodeGB() {
+		t.Errorf("per-node capacity should grow over 15 years: %v -> %v",
+			first.TotalPerNodeGB(), last.TotalPerNodeGB())
+	}
+	if !strings.Contains(r.Render(), "Frontier") {
+		t.Error("render should include Frontier")
+	}
+}
+
+func TestTable1CostShape(t *testing.T) {
+	r := testSuite().Table1()
+	if len(r.Rows) != 10 {
+		t.Fatalf("want 10 systems, got %d", len(r.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, row := range r.Rows {
+		byName[row.System.Name] = row
+	}
+	// The paper's Table 1: Frontier HBM ~$135M >> DDR ~$34M (HBM at 3-5x
+	// DDR unit price and equal capacity).
+	f := byName["Frontier"]
+	if f.HBMCostM <= f.DDRCostM {
+		t.Errorf("Frontier HBM cost (%f) should exceed DDR cost (%f)", f.HBMCostM, f.DDRCostM)
+	}
+	if f.HBMCostM < 3*f.DDRCostM || f.HBMCostM > 5*f.DDRCostM {
+		t.Errorf("equal-capacity HBM should cost 3-5x DDR, got %.1fx", f.HBMCostM/f.DDRCostM)
+	}
+	// DDR-less and HBM-less systems render as "-".
+	if byName["Fugaku"].DDRCostM != 0 {
+		t.Error("Fugaku has no DDR")
+	}
+	if byName["Sunway TaihuLight"].HBMCostM != 0 {
+		t.Error("Sunway has no HBM")
+	}
+}
+
+func TestTable2FootprintRatios(t *testing.T) {
+	r := testSuite().Table2()
+	if len(r.Entries) != 6 {
+		t.Fatalf("want 6 workloads, got %d", len(r.Entries))
+	}
+	for i, e := range r.Entries {
+		fp := r.Footprints[i]
+		if fp[0] == 0 {
+			t.Errorf("%s: zero footprint", e.Name)
+			continue
+		}
+		r2 := float64(fp[1]) / float64(fp[0])
+		r4 := float64(fp[2]) / float64(fp[0])
+		// The paper's inputs are "approximately 1:2:4".
+		if r2 < 1.5 || r2 > 3.2 {
+			t.Errorf("%s: x2 footprint ratio %.2f outside ~2", e.Name, r2)
+		}
+		if r4 < 3.0 || r4 > 6.5 {
+			t.Errorf("%s: x4 footprint ratio %.2f outside ~4", e.Name, r4)
+		}
+	}
+}
+
+func TestFigure5CoversBothRegimes(t *testing.T) {
+	r := testSuite().Figure5()
+	if len(r.Points) < 8 {
+		t.Fatalf("too few roofline points: %d", len(r.Points))
+	}
+	var memBound, compBound int
+	for _, p := range r.Points {
+		if p.Throughput > r.Model.Attainable(p.AI)*1.001 {
+			t.Errorf("%s: throughput %.3g exceeds roofline %.3g", p.Label, p.Throughput, r.Model.Attainable(p.AI))
+		}
+		switch {
+		case p.AI < r.Model.RidgeIntensity():
+			memBound++
+		default:
+			compBound++
+		}
+		if strings.HasPrefix(p.Label, "BFS") {
+			t.Errorf("BFS has no flops and should be omitted, got %s", p.Label)
+		}
+	}
+	// The paper confirms "good coverage in the memory-bound to
+	// compute-bound spectrum".
+	if memBound == 0 || compBound == 0 {
+		t.Errorf("phases should span both regimes: mem=%d comp=%d", memBound, compBound)
+	}
+}
+
+func TestFigure6ScalingShapes(t *testing.T) {
+	r := testSuite().Figure6()
+	if len(r.Curves) != 18 {
+		t.Fatalf("want 6 workloads x 3 scales = 18 curves, got %d", len(r.Curves))
+	}
+	get := func(w string, scale int) Figure6Curve {
+		for _, c := range r.Curves {
+			if c.Workload == w && c.Scale == scale {
+				return c
+			}
+		}
+		t.Fatalf("missing curve %s x%d", w, scale)
+		return Figure6Curve{}
+	}
+	// CDFs are monotone and end at 100%.
+	for _, c := range r.Curves {
+		prev := -1.0
+		for _, p := range c.Points {
+			if p.AccessPct < prev-1e-9 {
+				t.Fatalf("%s x%d: CDF not monotone", c.Workload, c.Scale)
+			}
+			prev = p.AccessPct
+		}
+		if last := c.Points[len(c.Points)-1].AccessPct; last < 99.9 {
+			t.Errorf("%s x%d: CDF ends at %.1f%%", c.Workload, c.Scale, last)
+		}
+	}
+	// XSBench and BFS are skewed: a small footprint share carries most
+	// accesses. HPL and Hypre are much more uniform.
+	if xs := get("XSBench", 1).AccessAtFootprint(25); xs < 70 {
+		t.Errorf("XSBench should be skewed: hottest 25%% carries %.0f%%", xs)
+	}
+	if bfs := get("BFS", 1).AccessAtFootprint(25); bfs < 55 {
+		t.Errorf("BFS should be skewed: hottest 25%% carries %.0f%%", bfs)
+	}
+	if hpl := get("HPL", 1).AccessAtFootprint(25); hpl > 55 {
+		t.Errorf("HPL should be near-uniform: hottest 25%% carries %.0f%%", hpl)
+	}
+	// HPL/Hypre/XSBench curves overlap across scales (consistent usage
+	// patterns); compare the hottest-25% capture between x1 and x4.
+	for _, w := range []string{"HPL", "Hypre", "XSBench"} {
+		a, b := get(w, 1).AccessAtFootprint(25), get(w, 4).AccessAtFootprint(25)
+		// "Approximately overlapping": allow a 20-point drift (the paper's
+		// own curves wiggle within roughly that band).
+		if d := a - b; d > 20 || d < -20 {
+			t.Errorf("%s: scaling curve should be input-consistent, x1=%.0f%% x4=%.0f%%", w, a, b)
+		}
+	}
+}
+
+func TestFigure7PrefetchTimelines(t *testing.T) {
+	r := testSuite().Figure7()
+	if len(r.Timelines) != 3 {
+		t.Fatalf("want NekRS/HPL/XSBench, got %d timelines", len(r.Timelines))
+	}
+	for _, tl := range r.Timelines {
+		if len(tl.On) == 0 || len(tl.Off) == 0 {
+			t.Errorf("%s: empty timeline", tl.Workload)
+			continue
+		}
+		on, off := sum(tl.On), sum(tl.Off)
+		if on < off {
+			t.Errorf("%s: prefetch-on traffic (%.3g) below prefetch-off (%.3g)", tl.Workload, on, off)
+		}
+	}
+}
+
+func TestFigure8PrefetchShape(t *testing.T) {
+	r := testSuite().Figure8()
+	rows := map[string]Figure8Row{}
+	for _, row := range r.Rows {
+		rows[row.Workload] = row
+	}
+	// "All except XSBench and BFS have more than 80% prefetching accuracy."
+	for _, w := range []string{"HPL", "Hypre", "NekRS", "SuperLU"} {
+		if rows[w].Accuracy < 0.8 {
+			t.Errorf("%s accuracy %.2f below 0.8", w, rows[w].Accuracy)
+		}
+	}
+	if rows["XSBench"].Accuracy > 0.6 {
+		t.Errorf("XSBench accuracy should be low, got %.2f", rows["XSBench"].Accuracy)
+	}
+	// XSBench's prefetcher throttles: low excess traffic despite low
+	// accuracy (the paper measures 3%).
+	if rows["XSBench"].ExcessTraffic > 0.10 {
+		t.Errorf("XSBench excess traffic should stay low, got %.2f", rows["XSBench"].ExcessTraffic)
+	}
+	// Streaming codes gain substantially; XSBench barely.
+	if rows["Hypre"].PerformanceGain < 0.3 {
+		t.Errorf("Hypre gain %.2f too low", rows["Hypre"].PerformanceGain)
+	}
+	if rows["NekRS"].PerformanceGain < 0.15 {
+		t.Errorf("NekRS gain %.2f too low", rows["NekRS"].PerformanceGain)
+	}
+	if rows["XSBench"].PerformanceGain > rows["Hypre"].PerformanceGain {
+		t.Error("XSBench should gain less than Hypre")
+	}
+	// Hypre and NekRS have the highest coverage in the paper.
+	if rows["Hypre"].Coverage < 0.6 || rows["NekRS"].Coverage < 0.6 {
+		t.Errorf("Hypre/NekRS coverage should be high: %.2f / %.2f",
+			rows["Hypre"].Coverage, rows["NekRS"].Coverage)
+	}
+}
+
+func TestFigure9ReferenceLinesAndXSBench(t *testing.T) {
+	r := testSuite().Figure9()
+	if len(r.Configs) != 3 {
+		t.Fatalf("want 3 capacity panels, got %d", len(r.Configs))
+	}
+	for _, panel := range r.Configs {
+		wantRCap := 1 - panel.LocalFraction
+		if d := panel.RCap - wantRCap; d > 0.01 || d < -0.01 {
+			t.Errorf("panel %v: R_cap=%v want %v", panel.LocalFraction, panel.RCap, wantRCap)
+		}
+		if panel.RBW < 0.25 || panel.RBW > 0.40 {
+			t.Errorf("R_BW=%v outside the 34/(34+73) band", panel.RBW)
+		}
+		for _, ph := range panel.Phases {
+			if ph.RemoteAccessRatio < 0 || ph.RemoteAccessRatio > 1 {
+				t.Errorf("%s: ratio %v out of range", ph.Label, ph.RemoteAccessRatio)
+			}
+			// "XSBench stands out ... below 6% in all configurations."
+			if ph.Label == "XSBench-p2" && ph.RemoteAccessRatio > 0.06 {
+				t.Errorf("XSBench-p2 remote access %.3f should stay below 6%%", ph.RemoteAccessRatio)
+			}
+		}
+	}
+	// More pooling -> more remote access for the capacity-bound codes.
+	find := func(panel Figure9Config, label string) float64 {
+		for _, ph := range panel.Phases {
+			if ph.Label == label {
+				return ph.RemoteAccessRatio
+			}
+		}
+		return -1
+	}
+	for _, label := range []string{"HPL-p2", "BFS-p2", "NekRS-p2"} {
+		a, b, c := find(r.Configs[0], label), find(r.Configs[1], label), find(r.Configs[2], label)
+		if !(a <= b+0.01 && b <= c+0.01) {
+			t.Errorf("%s: remote access should grow with pooling: %.2f %.2f %.2f", label, a, b, c)
+		}
+	}
+}
+
+func TestFigure10SensitivityShape(t *testing.T) {
+	r := testSuite().Figure10()
+	if len(r.Configs) != 3 {
+		t.Fatalf("want 3 panels, got %d", len(r.Configs))
+	}
+	panel := r.Configs[1] // 50%-50%, the paper's headline panel
+	for _, row := range panel.Rows {
+		// Relative performance is monotone non-increasing in LoI.
+		prev := 2.0
+		for i, v := range row.Relative {
+			if v > prev+1e-9 {
+				t.Errorf("%s: relative perf increased at LoI=%v", row.Workload, r.LoIs[i])
+			}
+			prev = v
+			if v <= 0 || v > 1+1e-9 {
+				t.Errorf("%s: relative perf %v out of range", row.Workload, v)
+			}
+		}
+	}
+	last := func(name string) float64 {
+		rel := findRow10(panel, name).Relative
+		return rel[len(rel)-1]
+	}
+	// Hypre and NekRS are among the most sensitive; HPL loses <5%;
+	// XSBench is essentially unaffected.
+	if last("HPL") < 0.95 {
+		t.Errorf("HPL should lose <5%% at LoI=50, got %.3f", last("HPL"))
+	}
+	if last("XSBench") < 0.98 {
+		t.Errorf("XSBench should be insensitive, got %.3f", last("XSBench"))
+	}
+	for _, w := range []string{"Hypre", "NekRS"} {
+		if last(w) > last("HPL") {
+			t.Errorf("%s (%.3f) should be more sensitive than HPL (%.3f)", w, last(w), last("HPL"))
+		}
+		if last(w) > 0.95 {
+			t.Errorf("%s should lose noticeably at LoI=50, got %.3f", w, last(w))
+		}
+	}
+}
+
+func TestFigure11LBenchValidation(t *testing.T) {
+	r := testSuite().Figure11()
+	// Left: measured LoI tracks configured intensity for 2 threads.
+	for i, c := range r.ConfiguredPct {
+		m := r.Measured2T[i]
+		if m < c*0.7 || m > c*1.3 {
+			t.Errorf("2-thread LoI at %v%%: measured %.1f%% not within 30%%", c, m)
+		}
+	}
+	// One thread cannot exceed its per-thread share (~25%).
+	for i, c := range r.ConfiguredPct {
+		if c >= 30 && r.Measured1T[i] > 30 {
+			t.Errorf("1 thread should top out near 25%%, measured %.1f%% at %v%%", r.Measured1T[i], c)
+		}
+	}
+	// Middle: IC is non-increasing in flops/element; PCM pins at the peak
+	// below 8 flops/element while IC still distinguishes the points.
+	for i := 1; i < len(r.IC); i++ {
+		if r.IC[i] > r.IC[i-1]+1e-9 {
+			t.Errorf("IC should fall with intensity: %v", r.IC)
+		}
+	}
+	var pinned int
+	for i, f := range r.FlopsPerElement {
+		if f <= 8 && r.PCMTrafficGBs[i] >= 84.9 {
+			pinned++
+		}
+	}
+	if pinned < 3 {
+		t.Errorf("PCM should pin at the 85 GB/s peak below 8 flops/element, pinned=%d", pinned)
+	}
+	if r.IC[0] <= r.IC[3] {
+		t.Error("IC should keep growing into the overload regime PCM cannot see")
+	}
+	// Right: Hypre and NekRS induce the most interference; XSBench least.
+	ic := map[string]float64{}
+	for i, a := range r.Apps {
+		ic[a] = r.AppIC[i]
+	}
+	if ic["XSBench"] > ic["Hypre"] || ic["XSBench"] > ic["NekRS"] {
+		t.Errorf("XSBench IC (%v) should be the lowest band", ic["XSBench"])
+	}
+	if ic["Hypre"] < ic["BFS"] {
+		t.Errorf("Hypre (%v) should induce more than BFS (%v)", ic["Hypre"], ic["BFS"])
+	}
+}
+
+func TestFigure12CaseStudyShape(t *testing.T) {
+	r := testSuite().Figure12()
+	if len(r.Cells) != 6 {
+		t.Fatalf("want 2 pooling x 3 variants = 6 cells, got %d", len(r.Cells))
+	}
+	get := func(pooled float64, v string) Figure12Cell {
+		for _, c := range r.Cells {
+			if c.PooledFraction == pooled && c.Variant.String() == v {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %v/%s", pooled, v)
+		return Figure12Cell{}
+	}
+	for _, pooled := range []float64{0.50, 0.75} {
+		base := get(pooled, "baseline")
+		opt := get(pooled, "optimized")
+		if base.RemoteAccessRatio < 0.85 {
+			t.Errorf("baseline at %v pooling should be nearly all-remote, got %.2f",
+				pooled, base.RemoteAccessRatio)
+		}
+		if opt.RemoteAccessRatio > base.RemoteAccessRatio-0.3 {
+			t.Errorf("optimization should cut remote access massively: %.2f -> %.2f",
+				base.RemoteAccessRatio, opt.RemoteAccessRatio)
+		}
+		speedup := base.Runtime/opt.Runtime - 1
+		if speedup < 0.05 {
+			t.Errorf("optimized should be much faster, got %.1f%%", speedup*100)
+		}
+		// Optimization reduces interference sensitivity (Figure 12 right).
+		if opt.Sensitivity[len(opt.Sensitivity)-1] < base.Sensitivity[len(base.Sensitivity)-1] {
+			t.Errorf("optimized should be less interference-sensitive")
+		}
+	}
+}
+
+func TestFigure13SchedulingShape(t *testing.T) {
+	r := testSuite().Figure13()
+	if len(r.Summaries) != 6 {
+		t.Fatalf("want 6 workloads, got %d", len(r.Summaries))
+	}
+	by := map[string]float64{}
+	for _, s := range r.Summaries {
+		if s.MeanSpeedup < -0.005 {
+			t.Errorf("%s: interference-aware scheduling should not slow down (%.3f)", s.Workload, s.MeanSpeedup)
+		}
+		// Variability shrinks: the aware range is no wider than baseline.
+		if (s.Aware.Max - s.Aware.Min) > (s.Baseline.Max-s.Baseline.Min)+1e-9 {
+			t.Errorf("%s: aware spread should shrink", s.Workload)
+		}
+		by[s.Workload] = s.MeanSpeedup
+	}
+	// The paper: Hypre benefits most (4%); XSBench ~0%.
+	if by["XSBench"] > by["Hypre"] {
+		t.Errorf("XSBench (%.3f) should benefit less than Hypre (%.3f)", by["XSBench"], by["Hypre"])
+	}
+	if by["XSBench"] > 0.01 {
+		t.Errorf("XSBench should see ~0%% speedup, got %.3f", by["XSBench"])
+	}
+}
+
+func TestRunAndAllIDs(t *testing.T) {
+	s := testSuite()
+	for _, id := range IDs {
+		r, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if r.ID() != id {
+			t.Errorf("Run(%s) returned id %s", id, r.ID())
+		}
+		if len(r.Render()) == 0 {
+			t.Errorf("%s renders empty", id)
+		}
+	}
+	if _, err := s.Run("figure99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lbench"
+	"repro/internal/link"
+	"repro/internal/textplot"
+)
+
+// Figure10Row is the sensitivity series of one workload's compute phase on
+// one capacity configuration.
+type Figure10Row struct {
+	Workload string
+	// Relative[i] is the performance at LoILevels[i] relative to LoI=0.
+	Relative []float64
+}
+
+// Figure10Config is one panel of Figure 10.
+type Figure10Config struct {
+	LocalFraction float64
+	Rows          []Figure10Row
+}
+
+// Figure10Result is the three-panel interference-sensitivity figure.
+type Figure10Result struct {
+	LoIs    []float64
+	Configs []Figure10Config
+}
+
+// Figure10 quantifies every workload's sensitivity to pool interference at
+// LoI 0-50% on the three capacity configurations.
+func (s *Suite) Figure10() Figure10Result {
+	res := Figure10Result{LoIs: LoILevels}
+	for _, frac := range CapacityFractions {
+		panel := Figure10Config{LocalFraction: frac}
+		for _, e := range s.Entries {
+			rep := s.Profiler.Level3(e, 1, frac, LoILevels)
+			panel.Rows = append(panel.Rows, Figure10Row{
+				Workload: e.Name,
+				Relative: rep.Relative,
+			})
+		}
+		res.Configs = append(res.Configs, panel)
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure10Result) ID() string { return "figure10" }
+
+// Render prints relative performance per workload and LoI, per panel.
+func (r Figure10Result) Render() string {
+	out := ""
+	for _, panel := range r.Configs {
+		headers := []string{"Workload (p2)"}
+		for _, loi := range r.LoIs {
+			headers = append(headers, fmt.Sprintf("LoI=%d", int(loi*100)))
+		}
+		tb := textplot.NewTable(fmt.Sprintf(
+			"Figure 10 (%d%%-%d%% capacity): relative performance under interference",
+			int(panel.LocalFraction*100), int((1-panel.LocalFraction)*100)), headers...)
+		for _, row := range panel.Rows {
+			cells := []any{row.Workload}
+			for _, v := range row.Relative {
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			}
+			tb.AddRow(cells...)
+		}
+		out += tb.String() + "\n"
+	}
+	return out
+}
+
+// Figure11Result is the three-panel LBench validation figure.
+type Figure11Result struct {
+	// Left panel: configured intensity (%) vs measured LoI (%), for one and
+	// two generator threads.
+	ConfiguredPct          []float64
+	Measured1T, Measured2T []float64
+	// Middle panel: flops/element sweep with the resulting interference
+	// coefficient (LBench) and the saturating raw link traffic (PCM).
+	FlopsPerElement []int
+	IC              []float64
+	PCMTrafficGBs   []float64
+	// Right panel: per-application induced interference coefficient at the
+	// 50% pooling setup (time-weighted mean with per-phase extremes).
+	Apps                    []string
+	AppIC, AppICLo, AppICHi []float64
+}
+
+// Figure11 validates the LBench generator and measures per-application
+// interference coefficients.
+func (s *Suite) Figure11() Figure11Result {
+	md := lbench.NewModel(s.Cfg)
+	res := Figure11Result{}
+
+	// Left: sweep configured intensity 10..50% and measure generated LoI.
+	for pct := 10; pct <= 50; pct += 10 {
+		res.ConfiguredPct = append(res.ConfiguredPct, float64(pct))
+		for _, threads := range []int{1, 2} {
+			n, ok := md.Configure(float64(pct)/100, threads)
+			loi := 0.0
+			if ok {
+				loi = md.MeasuredLoI(lbench.Config{Threads: threads, FlopsPerElement: n}) * 100
+			}
+			if threads == 1 {
+				res.Measured1T = append(res.Measured1T, loi)
+			} else {
+				res.Measured2T = append(res.Measured2T, loi)
+			}
+		}
+	}
+
+	// Middle: background workload sweeping 1..128 flops/element with 12
+	// threads; measure IC via the probe and raw traffic via PCM counters.
+	l := link.New(s.Cfg.Link)
+	for f := 1; f <= 128; f *= 2 {
+		c := lbench.Config{Threads: 12, FlopsPerElement: f}
+		bg := md.OfferedRaw(c)
+		res.FlopsPerElement = append(res.FlopsPerElement, f)
+		res.IC = append(res.IC, md.IC(bg))
+		res.PCMTrafficGBs = append(res.PCMTrafficGBs, l.PCMTraffic(bg)/1e9)
+	}
+
+	// Right: per-application IC on the 50% pooling setup.
+	for _, e := range s.Entries {
+		rep := s.Profiler.Level2(e, 1, 0.50)
+		cfg := s.Profiler.ConfigForLocalFraction(e, 1, 0.50)
+		mean, lo, hi := md.ICOfWorkload(cfg, rep.Phase2Stats)
+		res.Apps = append(res.Apps, e.Name)
+		res.AppIC = append(res.AppIC, mean)
+		res.AppICLo = append(res.AppICLo, lo)
+		res.AppICHi = append(res.AppICHi, hi)
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure11Result) ID() string { return "figure11" }
+
+// Render prints the three panels.
+func (r Figure11Result) Render() string {
+	left := textplot.NewTable("Figure 11 (left): LBench intensity calibration",
+		"Configured %", "Measured LoI (1 thread)", "Measured LoI (2 threads)")
+	for i, c := range r.ConfiguredPct {
+		m1 := "-"
+		if r.Measured1T[i] > 0 {
+			m1 = fmt.Sprintf("%.1f%%", r.Measured1T[i])
+		}
+		left.AddRow(fmt.Sprintf("%.0f%%", c), m1, fmt.Sprintf("%.1f%%", r.Measured2T[i]))
+	}
+
+	mid := textplot.NewTable("Figure 11 (middle): LBench IC vs saturating PCM counter (12 threads)",
+		"flops/element", "IC (LBench)", "UPI traffic GB/s (PCM)")
+	for i, f := range r.FlopsPerElement {
+		mid.AddRow(f, fmt.Sprintf("%.2f", r.IC[i]), fmt.Sprintf("%.1f", r.PCMTrafficGBs[i]))
+	}
+
+	right := textplot.NewTable("Figure 11 (right): interference coefficient induced by applications (50% pooling)",
+		"Application", "IC mean", "IC min", "IC max")
+	for i, a := range r.Apps {
+		right.AddRow(a, fmt.Sprintf("%.3f", r.AppIC[i]),
+			fmt.Sprintf("%.3f", r.AppICLo[i]), fmt.Sprintf("%.3f", r.AppICHi[i]))
+	}
+	return left.String() + "\n" + mid.String() + "\n" + right.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/textplot"
+	"repro/internal/units"
+)
+
+// Figure9Phase is one bar of Figure 9: the remote access ratio of one phase
+// of one workload on one capacity configuration.
+type Figure9Phase struct {
+	Label             string // e.g. "HPL-p1"
+	RemoteAccessRatio float64
+	Verdict           core.TuningVerdict
+}
+
+// Figure9Config is one panel (one capacity ratio).
+type Figure9Config struct {
+	// LocalFraction is the local tier size as a fraction of peak usage.
+	LocalFraction float64
+	// RCap and RBW are the reference lines.
+	RCap, RBW float64
+	Phases    []Figure9Phase
+}
+
+// Figure9Result is the three-panel remote-access-ratio figure.
+type Figure9Result struct {
+	Configs []Figure9Config
+}
+
+// Figure9 measures the per-phase remote access ratios on the three
+// capacity configurations (75/25, 50/50, 25/75).
+func (s *Suite) Figure9() Figure9Result {
+	var res Figure9Result
+	for _, frac := range CapacityFractions {
+		panel := Figure9Config{LocalFraction: frac}
+		for _, e := range s.Entries {
+			rep := s.Profiler.Level2(e, 1, frac)
+			panel.RCap, panel.RBW = rep.RCap, rep.RBW
+			for _, ph := range rep.Phases {
+				panel.Phases = append(panel.Phases, Figure9Phase{
+					Label:             fmt.Sprintf("%s-%s", e.Name, ph.Name),
+					RemoteAccessRatio: ph.RemoteAccessRatio,
+					Verdict:           rep.Verdict(ph),
+				})
+			}
+		}
+		res.Configs = append(res.Configs, panel)
+	}
+	return res
+}
+
+// ID implements Result.
+func (Figure9Result) ID() string { return "figure9" }
+
+// Render prints one table per capacity panel with the two reference lines.
+func (r Figure9Result) Render() string {
+	out := ""
+	for _, panel := range r.Configs {
+		title := fmt.Sprintf("Figure 9 (%d%%-%d%% local-remote capacity): remote access ratio [R_cap=%s R_BW=%s]",
+			int(panel.LocalFraction*100), int((1-panel.LocalFraction)*100),
+			units.Percent(panel.RCap), units.Percent(panel.RBW))
+		bars := textplot.NewBarChart(title)
+		bars.Unit = "%"
+		tb := textplot.NewTable("", "Phase", "%RemoteAccess", "Verdict")
+		for _, ph := range panel.Phases {
+			bars.Add(ph.Label, ph.RemoteAccessRatio*100)
+			tb.AddRow(ph.Label, units.Percent(ph.RemoteAccessRatio), ph.Verdict.String())
+		}
+		out += bars.String() + tb.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/textplot"
+	"repro/internal/top500"
+	"repro/internal/workloads/registry"
+)
+
+// Figure1Result is the evolution of memory characteristics of leadership
+// supercomputers (paper Figure 1).
+type Figure1Result struct {
+	Systems []top500.System
+}
+
+// Figure1 collects the timeline dataset.
+func (s *Suite) Figure1() Figure1Result {
+	return Figure1Result{Systems: top500.Timeline()}
+}
+
+// ID implements Result.
+func (Figure1Result) ID() string { return "figure1" }
+
+// Render prints the capacity/bandwidth evolution table and trend plot.
+func (r Figure1Result) Render() string {
+	tb := textplot.NewTable("Figure 1: memory evolution of leadership supercomputers",
+		"Year", "System", "Mem/node (GB)", "HBM/node (GB)", "HBM BW/node (TB/s)")
+	var xs, caps, bws []float64
+	for _, s := range r.Systems {
+		tb.AddRow(s.Year, s.Name, s.TotalPerNodeGB(), s.HBMPerNodeGB, s.HBMBandwidthTBs*1000)
+		xs = append(xs, float64(s.Year))
+		caps = append(caps, s.TotalPerNodeGB())
+		bws = append(bws, s.HBMBandwidthTBs*1000)
+	}
+	pl := textplot.NewPlot("Per-node memory capacity and bandwidth vs year", "year", "GB | GB/s")
+	pl.Add("capacity GB/node", xs, caps)
+	pl.Add("HBM BW GB/s/node", xs, bws)
+	return tb.String() + "\n" + pl.String()
+}
+
+// Table1Row is one system of the paper's Table 1 with estimated costs.
+type Table1Row struct {
+	System      top500.System
+	DDRCostM    float64 // $M
+	HBMCostM    float64 // $M
+	TotalCostM  float64 // $M
+	HBMCapRatio float64 // HBM share of per-node capacity
+}
+
+// Table1Result is the Top-10 memory configuration and cost table.
+type Table1Result struct {
+	Rows []Table1Row
+	Cost top500.CostModel
+}
+
+// Table1 applies the cost model (HBM at 3-5x DDR unit price) to the Top-10
+// list of November 2022.
+func (s *Suite) Table1() Table1Result {
+	cm := top500.DefaultCostModel()
+	res := Table1Result{Cost: cm}
+	for _, sys := range top500.Top10Nov2022() {
+		row := Table1Row{
+			System:     sys,
+			DDRCostM:   cm.DDRCost(sys) / 1e6,
+			HBMCostM:   cm.HBMCost(sys) / 1e6,
+			TotalCostM: cm.TotalCost(sys) / 1e6,
+		}
+		if t := sys.TotalPerNodeGB(); t > 0 {
+			row.HBMCapRatio = sys.HBMPerNodeGB / t
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// ID implements Result.
+func (Table1Result) ID() string { return "table1" }
+
+// Render prints the Table 1 rows.
+func (r Table1Result) Render() string {
+	tb := textplot.NewTable("Table 1: Top-10 memory configuration and estimated cost",
+		"Rank", "System", "DDR/node GB", "HBM/node GB", "HBM BW/node TB/s", "Nodes", "Est. DDR $M", "Est. HBM $M")
+	for _, row := range r.Rows {
+		s := row.System
+		ddr := "-"
+		if row.DDRCostM > 0 {
+			ddr = fmt.Sprintf("%.1f", row.DDRCostM)
+		}
+		hbm := "-"
+		if row.HBMCostM > 0 {
+			hbm = fmt.Sprintf("%.1f", row.HBMCostM)
+		}
+		tb.AddRow(s.Rank, s.Name, s.DDRPerNodeGB, s.HBMPerNodeGB, s.HBMBandwidthTBs, s.Nodes, ddr, hbm)
+	}
+	return tb.String()
+}
+
+// Table2Result is the evaluated-workload inventory.
+type Table2Result struct {
+	Entries []registry.Entry
+	// Footprints[i][j] is the measured peak footprint of workload i at
+	// scale 2^j (scales 1, 2, 4), validating the ~1:2:4 memory ratios.
+	Footprints [][3]uint64
+}
+
+// Table2 lists the workloads and measures their scaled footprints.
+func (s *Suite) Table2() Table2Result {
+	res := Table2Result{Entries: s.Entries}
+	for _, e := range s.Entries {
+		var fp [3]uint64
+		for j, scale := range []int{1, 2, 4} {
+			fp[j] = s.Profiler.PeakUsage(e, scale)
+		}
+		res.Footprints = append(res.Footprints, fp)
+	}
+	return res
+}
+
+// ID implements Result.
+func (Table2Result) ID() string { return "table2" }
+
+// Render prints the workload table with measured footprint ratios.
+func (r Table2Result) Render() string {
+	tb := textplot.NewTable("Table 2: evaluated workloads (three inputs of ~1:2:4 memory usage)",
+		"Application", "Description", "Parallelization", "Inputs", "Footprint x1/x2/x4 (MiB)", "Ratio")
+	for i, e := range r.Entries {
+		fp := r.Footprints[i]
+		mib := func(b uint64) float64 { return float64(b) / (1 << 20) }
+		ratio := "-"
+		if fp[0] > 0 {
+			ratio = fmt.Sprintf("1:%.1f:%.1f", float64(fp[1])/float64(fp[0]), float64(fp[2])/float64(fp[0]))
+		}
+		tb.AddRow(e.Name, e.Description, e.Parallelization,
+			strings.Join(e.Inputs[:], "; "),
+			fmt.Sprintf("%.1f/%.1f/%.1f", mib(fp[0]), mib(fp[1]), mib(fp[2])),
+			ratio)
+	}
+	return tb.String()
+}

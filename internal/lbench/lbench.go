@@ -1,0 +1,213 @@
+// Package lbench implements LBench, the paper's §3.2 benchmark for
+// injecting and quantifying interference on the link to the memory pool.
+//
+// The kernel is the paper's: an array resident on the memory pool is
+// streamed while performing NFLOP fused multiply-adds per element
+// (beta = beta*A[i] + alpha), so the generated link traffic is tuned by the
+// flops-per-element knob. The level of interference (LoI) is the generated
+// raw link traffic as a percentage of the peak link traffic, which is
+// reached at 1 flop/element with 12 threads.
+//
+// Two measurement modes mirror the paper:
+//
+//   - LoI generation/calibration (Figure 11, left): configured intensity vs
+//     measured link traffic;
+//   - the interference coefficient (IC): the relative runtime of a 1-thread,
+//     1-flop/element probe against an idle system, which keeps growing past
+//     link saturation where raw PCM counters pin at the peak (Figure 11,
+//     middle).
+package lbench
+
+import (
+	"repro/internal/link"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// RawBytesPerElement is the raw link traffic per processed element: an
+// 8-byte read plus an 8-byte writeback, times protocol overhead.
+const payloadPerElement = 16.0
+
+// Config describes one LBench run.
+type Config struct {
+	// Threads is the number of generator threads (the paper uses 2 for
+	// injection and 12 for peak).
+	Threads int
+	// FlopsPerElement is the NFLOP knob of the kernel.
+	FlopsPerElement int
+}
+
+// Model captures the calibrated traffic model of the generator on a given
+// platform.
+type Model struct {
+	// Link is the pool link the generator loads.
+	Link link.Config
+	// PeakThreads is the thread count that reaches peak link traffic at
+	// 1 flop/element (12 on the testbed).
+	PeakThreads int
+	// PerThreadShare is the fraction of peak raw traffic one thread can
+	// drive (finite outstanding misses); 0.25 on the testbed, so two
+	// threads reach 50% intensity as in §6.
+	PerThreadShare float64
+	// FlopRate is the per-thread flop throughput of the kernel in flop/s.
+	FlopRate float64
+}
+
+// NewModel calibrates the generator model against a machine configuration:
+// the per-thread flop rate is set so that 12 threads saturate the link for
+// every intensity below 8 flops/element, matching the paper's observation
+// that PCM counters pin at the link peak below 8 flops/element.
+func NewModel(cfg machine.Config) Model {
+	raw := payloadPerElement * cfg.Link.Overhead
+	return Model{
+		Link:           cfg.Link,
+		PeakThreads:    12,
+		PerThreadShare: 0.25,
+		FlopRate:       cfg.Link.PeakTraffic * 8 / (12 * raw),
+	}
+}
+
+// OfferedRaw returns the raw link traffic demand (bytes/s) of the generator
+// at a configuration — unclamped, so overload is visible.
+func (md Model) OfferedRaw(c Config) float64 {
+	if c.Threads <= 0 || c.FlopsPerElement <= 0 {
+		return 0
+	}
+	raw := payloadPerElement * md.Link.Overhead
+	flopLimited := raw * md.FlopRate / float64(c.FlopsPerElement)
+	capLimited := md.PerThreadShare * md.Link.PeakTraffic
+	per := flopLimited
+	if capLimited < per {
+		per = capLimited
+	}
+	return float64(c.Threads) * per
+}
+
+// MeasuredLoI is the link-traffic level a PCM-style counter reports for the
+// configuration, as a fraction of peak: offered demand clipped at the peak.
+func (md Model) MeasuredLoI(c Config) float64 {
+	l := link.New(md.Link)
+	return l.PCMTraffic(md.OfferedRaw(c)) / md.Link.PeakTraffic
+}
+
+// Configure returns the flops-per-element setting that generates the target
+// LoI (fraction of peak raw traffic) with the given thread count. The
+// second return is false when the thread count cannot reach the target.
+func (md Model) Configure(targetLoI float64, threads int) (int, bool) {
+	if targetLoI <= 0 {
+		return 1 << 20, true // effectively idle
+	}
+	maxLoI := float64(threads) * md.PerThreadShare
+	if targetLoI > maxLoI+1e-9 {
+		return 1, false
+	}
+	raw := payloadPerElement * md.Link.Overhead
+	perThreadTarget := targetLoI * md.Link.PeakTraffic / float64(threads)
+	f := raw * md.FlopRate / perThreadTarget
+	n := int(f + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n, true
+}
+
+// probeRho is the utilization offered by the IC probe (1 thread,
+// 1 flop/element).
+func (md Model) probeRho() float64 {
+	return md.OfferedRaw(Config{Threads: 1, FlopsPerElement: 1}) / md.Link.PeakTraffic
+}
+
+// IC returns the interference coefficient measured by the probe while
+// background raw traffic bgRaw (bytes/s) loads the link: the probe's
+// relative runtime versus the idle system. Because delay keeps growing in
+// the overload regime, IC distinguishes saturated from contended links.
+func (md Model) IC(bgRaw float64) float64 {
+	l := link.New(md.Link)
+	probe := md.probeRho()
+	idle := l.DelayFactor(probe)
+	loaded := l.DelayFactor(probe + bgRaw/md.Link.PeakTraffic)
+	return loaded / idle
+}
+
+// ICOfWorkload computes the interference coefficient an application causes:
+// its phases' remote traffic is replayed as background load on the link and
+// the probe slowdown is measured per phase; the result is the
+// time-weighted mean and the per-phase extremes (the spread of Figure 11,
+// right).
+func (md Model) ICOfWorkload(cfg machine.Config, phases []machine.PhaseStats) (mean, lo, hi float64) {
+	totalT := 0.0
+	lo, hi = 0, 0
+	first := true
+	for _, p := range phases {
+		t := cfg.PhaseTime(p, 0)
+		if t <= 0 {
+			continue
+		}
+		bg := float64(p.RemoteBytes) * cfg.Link.Overhead / t
+		ic := md.IC(bg)
+		mean += ic * t
+		totalT += t
+		if first || ic < lo {
+			lo = ic
+		}
+		if first || ic > hi {
+			hi = ic
+		}
+		first = false
+	}
+	if totalT > 0 {
+		mean /= totalT
+	} else {
+		mean = 1
+	}
+	if first {
+		lo, hi = 1, 1
+	}
+	return mean, lo, hi
+}
+
+// Bench executes the kernel on an emulated machine: it allocates the array
+// on the memory pool and streams it with NFLOP flops per element. This is
+// the executable counterpart of the analytical Model, used to validate the
+// generator (Figure 11, left).
+type Bench struct {
+	Cfg Config
+	// Elements is the array length; Iterations the number of sweeps.
+	Elements   int
+	Iterations int
+}
+
+// NewBench returns a pool-sized generator run.
+func NewBench(c Config) *Bench {
+	return &Bench{Cfg: c, Elements: 1 << 17, Iterations: 4}
+}
+
+// Name implements workloads.Workload.
+func (b *Bench) Name() string { return "LBench" }
+
+// Run implements workloads.Workload: the kernel from the paper's §3.2
+// listing, executed for real over a pool-resident array.
+func (b *Bench) Run(m *machine.Machine) {
+	m.StartPhase("lbench")
+	arr := workloads.NewVecPlaced(m, "lbench-array", b.Elements, mem.PlaceRemote)
+	alpha := 1.000000001
+	nflop := b.Cfg.FlopsPerElement
+	for it := 0; it < b.Iterations; it++ {
+		arr.ReadRange(0, b.Elements)
+		arr.WriteRange(0, b.Elements)
+		for i := range arr.Data {
+			beta := arr.Data[i]
+			if nflop%2 == 1 {
+				beta = arr.Data[i] + alpha
+			}
+			for k := 0; k < nflop/2; k++ {
+				beta = beta*arr.Data[i] + alpha
+			}
+			arr.Data[i] = beta
+		}
+		m.AddFlops(float64(b.Elements * nflop))
+		m.Tick()
+	}
+	m.EndPhase()
+}

@@ -1,0 +1,235 @@
+// Package placement implements the static data-placement optimizers the
+// paper discusses in §5.2 and §7.1: given the per-allocation-site profile
+// from a Level-2 run (sizes and access counts per region), decide which
+// objects to pin to the local tier so that the predicted remote access
+// ratio approaches the R_cap..R_BW tuning band.
+//
+// The paper notes that global placement across phases "is a Knapsack
+// problem which is NP-complete"; this package provides both the greedy
+// hotness-density heuristic practitioners actually use (the §7.1
+// allocate-hottest-first recipe generalized) and an exact dynamic-program
+// solution at page granularity for validating the heuristic on profiled
+// workloads.
+//
+// It also provides the N:M interleave policy of the kernel patch the paper
+// cites ([50], non-uniform interleaving for tiered memory): pages strided
+// across tiers in proportion to tier bandwidth, which trades latency for
+// aggregate-bandwidth utilization.
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Object is one placement candidate: a profiled allocation site.
+type Object struct {
+	// Name identifies the allocation site.
+	Name string
+	// Bytes is the object size.
+	Bytes uint64
+	// Accesses is the profiled access count (post-cache traffic).
+	Accesses uint64
+}
+
+// Density is accesses per byte — the greedy ordering key.
+func (o Object) Density() float64 {
+	if o.Bytes == 0 {
+		return 0
+	}
+	return float64(o.Accesses) / float64(o.Bytes)
+}
+
+// FromRegions converts a Level-2 per-region profile into placement
+// candidates, skipping freed/empty regions.
+func FromRegions(regions []mem.RegionStats) []Object {
+	out := make([]Object, 0, len(regions))
+	for _, r := range regions {
+		if r.Region == nil || r.Region.Size == 0 {
+			continue
+		}
+		out = append(out, Object{
+			Name:     r.Region.Name,
+			Bytes:    r.Region.Size,
+			Accesses: r.Accesses,
+		})
+	}
+	return out
+}
+
+// Plan assigns each object a tier.
+type Plan struct {
+	// Local lists the objects pinned to the local tier, in allocation
+	// order (hottest first so the §7.1 first-touch recipe realizes the
+	// plan).
+	Local []Object
+	// Remote lists the objects left on the pool.
+	Remote []Object
+	// LocalBytes is the local capacity the plan consumes.
+	LocalBytes uint64
+}
+
+// RemoteAccessRatio predicts the remote share of memory accesses under the
+// plan.
+func (p Plan) RemoteAccessRatio() float64 {
+	var local, remote uint64
+	for _, o := range p.Local {
+		local += o.Accesses
+	}
+	for _, o := range p.Remote {
+		remote += o.Accesses
+	}
+	if local+remote == 0 {
+		return 0
+	}
+	return float64(remote) / float64(local+remote)
+}
+
+// Greedy packs objects into the local tier in descending hotness density
+// until capacity runs out — the generalized form of the paper's
+// "allocating and initializing objects in order of hotness" recipe. Objects
+// that do not fit are skipped (not split); later, smaller objects may still
+// fit, so the scan continues.
+func Greedy(objects []Object, localCapacity uint64) Plan {
+	sorted := append([]Object(nil), objects...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Density() > sorted[j].Density()
+	})
+	var plan Plan
+	for _, o := range sorted {
+		if plan.LocalBytes+o.Bytes <= localCapacity {
+			plan.Local = append(plan.Local, o)
+			plan.LocalBytes += o.Bytes
+		} else {
+			plan.Remote = append(plan.Remote, o)
+		}
+	}
+	return plan
+}
+
+// Exact solves the placement as a 0/1 knapsack at page granularity:
+// maximize local accesses subject to the local capacity. pageSize controls
+// the DP resolution (weights are in pages, so the table stays small for
+// laptop-scale profiles). It panics if pageSize is 0.
+func Exact(objects []Object, localCapacity, pageSize uint64) Plan {
+	if pageSize == 0 {
+		panic("placement: pageSize must be positive")
+	}
+	capPages := int(localCapacity / pageSize)
+	n := len(objects)
+	weights := make([]int, n)
+	for i, o := range objects {
+		weights[i] = int((o.Bytes + pageSize - 1) / pageSize)
+	}
+	// dp[w] = best access count using capacity w; keep[i][w] for traceback.
+	dp := make([]uint64, capPages+1)
+	keep := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = make([]bool, capPages+1)
+		w := weights[i]
+		v := objects[i].Accesses
+		for c := capPages; c >= w; c-- {
+			if cand := dp[c-w] + v; cand > dp[c] {
+				dp[c] = cand
+				keep[i][c] = true
+			}
+		}
+	}
+	// Traceback.
+	var plan Plan
+	c := capPages
+	inLocal := make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][c] {
+			inLocal[i] = true
+			c -= weights[i]
+		}
+	}
+	for i, o := range objects {
+		if inLocal[i] {
+			plan.Local = append(plan.Local, o)
+			plan.LocalBytes += o.Bytes
+		} else {
+			plan.Remote = append(plan.Remote, o)
+		}
+	}
+	// Hottest-first allocation order for the first-touch realization.
+	sort.SliceStable(plan.Local, func(i, j int) bool {
+		return plan.Local[i].Density() > plan.Local[j].Density()
+	})
+	return plan
+}
+
+// InterleavePattern is the N:M page interleave of the cited kernel patch:
+// out of every Local+Remote consecutive pages, Local go to the fast tier.
+type InterleavePattern struct {
+	Local, Remote int
+}
+
+// BandwidthInterleave returns the N:M pattern proportional to the tier
+// bandwidths, reduced to the smallest integer ratio with terms bounded by
+// maxTerm (the kernel patch uses small ratios like 3:1).
+func BandwidthInterleave(localBW, remoteBW float64, maxTerm int) InterleavePattern {
+	if maxTerm <= 0 {
+		maxTerm = 8
+	}
+	if localBW <= 0 || remoteBW <= 0 {
+		return InterleavePattern{Local: 1, Remote: 0}
+	}
+	bestL, bestR := 1, 0
+	bestErr := remoteBW / localBW // error of the all-local pattern
+	target := localBW / remoteBW
+	for r := 1; r <= maxTerm; r++ {
+		for l := 1; l <= maxTerm; l++ {
+			e := float64(l)/float64(r) - target
+			if e < 0 {
+				e = -e
+			}
+			if e < bestErr {
+				bestErr, bestL, bestR = e, l, r
+			}
+		}
+	}
+	return InterleavePattern{Local: bestL, Remote: bestR}
+}
+
+// TierOf returns the tier of page index i under the pattern.
+func (p InterleavePattern) TierOf(i int) mem.Tier {
+	period := p.Local + p.Remote
+	if period <= 0 || p.Remote == 0 {
+		return mem.TierLocal
+	}
+	if i%period < p.Local {
+		return mem.TierLocal
+	}
+	return mem.TierRemote
+}
+
+// AggregateBandwidth predicts the streaming bandwidth of an interleaved
+// scan: pages alternate tiers, so both move concurrently and the slower
+// stream finishes last. With fraction f of pages local, time per byte is
+// max(f/localBW, (1-f)/remoteBW) and the aggregate is its inverse.
+func (p InterleavePattern) AggregateBandwidth(localBW, remoteBW float64) float64 {
+	period := float64(p.Local + p.Remote)
+	if period == 0 {
+		return localBW
+	}
+	f := float64(p.Local) / period
+	tLocal := 0.0
+	if localBW > 0 {
+		tLocal = f / localBW
+	}
+	tRemote := 0.0
+	if remoteBW > 0 {
+		tRemote = (1 - f) / remoteBW
+	}
+	t := tLocal
+	if tRemote > t {
+		t = tRemote
+	}
+	if t == 0 {
+		return 0
+	}
+	return 1 / t
+}

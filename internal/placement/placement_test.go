@@ -1,0 +1,226 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+func obj(name string, bytes, accesses uint64) Object {
+	return Object{Name: name, Bytes: bytes, Accesses: accesses}
+}
+
+func TestGreedyPinsHottestFirst(t *testing.T) {
+	objects := []Object{
+		obj("cold-big", 1<<20, 100),
+		obj("hot-small", 1<<12, 100000),
+		obj("warm", 1<<16, 5000),
+	}
+	plan := Greedy(objects, 1<<16+1<<12)
+	if len(plan.Local) != 2 {
+		t.Fatalf("want hot-small+warm local, got %v", plan.Local)
+	}
+	if plan.Local[0].Name != "hot-small" || plan.Local[1].Name != "warm" {
+		t.Errorf("local order should be hottest-first: %v", plan.Local)
+	}
+	if len(plan.Remote) != 1 || plan.Remote[0].Name != "cold-big" {
+		t.Errorf("cold-big should stay remote: %v", plan.Remote)
+	}
+}
+
+func TestGreedySkipsOversizedButContinues(t *testing.T) {
+	objects := []Object{
+		obj("huge-hot", 1<<20, 1e6),  // hottest density but does not fit
+		obj("small-warm", 1<<10, 10), // fits
+	}
+	plan := Greedy(objects, 1<<12)
+	if len(plan.Local) != 1 || plan.Local[0].Name != "small-warm" {
+		t.Fatalf("greedy should skip the oversized object and keep packing: %+v", plan)
+	}
+}
+
+func TestGreedyZeroCapacity(t *testing.T) {
+	plan := Greedy([]Object{obj("a", 10, 10)}, 0)
+	if len(plan.Local) != 0 || len(plan.Remote) != 1 {
+		t.Fatalf("nothing fits in zero capacity: %+v", plan)
+	}
+	if r := plan.RemoteAccessRatio(); r != 1 {
+		t.Errorf("all-remote ratio = %v, want 1", r)
+	}
+}
+
+func TestExactBeatsGreedyOnAdversarialCase(t *testing.T) {
+	// Classic knapsack trap: greedy takes the densest object, which
+	// blocks the two that together are worth more.
+	ps := uint64(1)
+	objects := []Object{
+		obj("dense", 6, 61),  // density 10.2
+		obj("half-a", 5, 50), // density 10
+		obj("half-b", 5, 50),
+	}
+	greedy := Greedy(objects, 10)
+	exact := Exact(objects, 10, ps)
+	gLocal := uint64(0)
+	for _, o := range greedy.Local {
+		gLocal += o.Accesses
+	}
+	eLocal := uint64(0)
+	for _, o := range exact.Local {
+		eLocal += o.Accesses
+	}
+	if eLocal < gLocal {
+		t.Fatalf("exact (%d) must not lose to greedy (%d)", eLocal, gLocal)
+	}
+	if eLocal != 100 {
+		t.Fatalf("exact should pick the two halves (100), got %d", eLocal)
+	}
+}
+
+func TestExactRespectsCapacity(t *testing.T) {
+	ps := uint64(4096)
+	objects := []Object{
+		obj("a", 10*ps, 100),
+		obj("b", 6*ps, 80),
+		obj("c", 5*ps, 70),
+	}
+	plan := Exact(objects, 12*ps, ps)
+	if plan.LocalBytes > 12*ps {
+		t.Fatalf("plan exceeds capacity: %d > %d", plan.LocalBytes, 12*ps)
+	}
+	// Optimal is b+c (150) over a (100).
+	var got uint64
+	for _, o := range plan.Local {
+		got += o.Accesses
+	}
+	if got != 150 {
+		t.Fatalf("exact value = %d, want 150", got)
+	}
+}
+
+func TestExactPanicsOnZeroPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Exact(nil, 10, 0)
+}
+
+func TestRemoteAccessRatio(t *testing.T) {
+	plan := Plan{
+		Local:  []Object{obj("l", 1, 75)},
+		Remote: []Object{obj("r", 1, 25)},
+	}
+	if r := plan.RemoteAccessRatio(); r != 0.25 {
+		t.Fatalf("ratio = %v, want 0.25", r)
+	}
+	if r := (Plan{}).RemoteAccessRatio(); r != 0 {
+		t.Fatalf("empty plan ratio = %v, want 0", r)
+	}
+}
+
+// Property: Exact never yields fewer local accesses than Greedy, and both
+// respect the capacity bound.
+func TestExactDominatesGreedyProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(seed uint16, n uint8) bool {
+		count := int(n%8) + 1
+		objects := make([]Object, count)
+		for i := range objects {
+			objects[i] = Object{
+				Name:     string(rune('a' + i)),
+				Bytes:    uint64(rng.Intn(16)+1) * 4096,
+				Accesses: uint64(rng.Intn(10000)),
+			}
+		}
+		capacity := uint64(rng.Intn(32)+1) * 4096
+		g := Greedy(objects, capacity)
+		e := Exact(objects, capacity, 4096)
+		if g.LocalBytes > capacity || e.LocalBytes > capacity {
+			return false
+		}
+		var gv, ev uint64
+		for _, o := range g.Local {
+			gv += o.Accesses
+		}
+		for _, o := range e.Local {
+			ev += o.Accesses
+		}
+		return ev >= gv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthInterleaveMatchesTestbedRatio(t *testing.T) {
+	// 73:34 is close to 2:1.
+	p := BandwidthInterleave(73e9, 34e9, 8)
+	if p.Remote == 0 {
+		t.Fatalf("pattern should use both tiers: %+v", p)
+	}
+	ratio := float64(p.Local) / float64(p.Remote)
+	if ratio < 1.8 || ratio > 2.4 {
+		t.Errorf("73:34 pattern ratio = %.2f, want ~2.1", ratio)
+	}
+}
+
+func TestInterleaveTierOf(t *testing.T) {
+	p := InterleavePattern{Local: 2, Remote: 1}
+	want := []mem.Tier{mem.TierLocal, mem.TierLocal, mem.TierRemote, mem.TierLocal, mem.TierLocal, mem.TierRemote}
+	for i, w := range want {
+		if got := p.TierOf(i); got != w {
+			t.Errorf("TierOf(%d) = %v, want %v", i, got, w)
+		}
+	}
+	all := InterleavePattern{Local: 1, Remote: 0}
+	if all.TierOf(5) != mem.TierLocal {
+		t.Error("remote=0 pattern must be all-local")
+	}
+}
+
+func TestInterleaveAggregateBandwidth(t *testing.T) {
+	local, remote := 73e9, 34e9
+	p := BandwidthInterleave(local, remote, 8)
+	agg := p.AggregateBandwidth(local, remote)
+	// The paper's §2.1 point: adding a tier can increase aggregate
+	// bandwidth beyond the fast tier alone.
+	if agg <= local {
+		t.Errorf("interleave aggregate %.1f GB/s should beat local-only %.1f GB/s", agg/1e9, local/1e9)
+	}
+	if agg > local+remote+1 {
+		t.Errorf("aggregate cannot exceed the sum of tiers: %v", agg)
+	}
+	// A pathologically skewed pattern underuses the remote tier.
+	bad := InterleavePattern{Local: 8, Remote: 1}
+	if bad.AggregateBandwidth(local, remote) >= agg {
+		t.Error("bandwidth-matched pattern should beat a skewed one")
+	}
+}
+
+// Property: aggregate bandwidth of any pattern is between min(tier) and the
+// sum of tiers.
+func TestInterleaveBandwidthBoundsProperty(t *testing.T) {
+	f := func(l, r uint8) bool {
+		p := InterleavePattern{Local: int(l%8) + 1, Remote: int(r % 8)}
+		agg := p.AggregateBandwidth(73e9, 34e9)
+		return agg >= 34e9-1 && agg <= 73e9+34e9+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRegions(t *testing.T) {
+	regs := []mem.RegionStats{
+		{Region: &mem.Region{Name: "a", Size: 4096}, Accesses: 10},
+		{Region: &mem.Region{Name: "empty", Size: 0}, Accesses: 5},
+		{Region: nil},
+	}
+	objs := FromRegions(regs)
+	if len(objs) != 1 || objs[0].Name != "a" {
+		t.Fatalf("FromRegions should keep only live sized regions: %+v", objs)
+	}
+}

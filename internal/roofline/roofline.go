@@ -1,0 +1,137 @@
+// Package roofline implements the standard roofline model (Williams et al.)
+// and the extended memory roofline for multi-tier systems used in the
+// paper's §3.4 and §5: attainable performance as a function of arithmetic
+// intensity, with memory roofs for a single tier, for concurrent use of both
+// tiers, and for an arbitrary local:remote access split.
+package roofline
+
+// Model is a platform description for the roofline analysis.
+type Model struct {
+	// PeakFlops is the compute roof in flop/s.
+	PeakFlops float64
+	// LocalBandwidth is the fast-tier memory bandwidth in bytes/s.
+	LocalBandwidth float64
+	// RemoteBandwidth is the pooled-tier bandwidth in bytes/s
+	// (zero for a single-tier system).
+	RemoteBandwidth float64
+}
+
+// Attainable is the classic single-tier roofline:
+// P = min(F, B_local * I) for arithmetic intensity I in flop/byte.
+func (m Model) Attainable(intensity float64) float64 {
+	p := m.LocalBandwidth * intensity
+	if p > m.PeakFlops {
+		return m.PeakFlops
+	}
+	return p
+}
+
+// AggregateBandwidth is the combined bandwidth when both tiers stream
+// concurrently — the dashed "additional memory tier" roof of Figure 5,
+// and the hardware rebuttal to the "multi-tier memory is slower"
+// misconception in §2.1.
+func (m Model) AggregateBandwidth() float64 {
+	return m.LocalBandwidth + m.RemoteBandwidth
+}
+
+// AttainableAggregate is the roofline using the aggregate two-tier roof.
+func (m Model) AttainableAggregate(intensity float64) float64 {
+	p := m.AggregateBandwidth() * intensity
+	if p > m.PeakFlops {
+		return m.PeakFlops
+	}
+	return p
+}
+
+// EffectiveBandwidth returns the achievable memory bandwidth for a workload
+// that directs the fraction remote (0..1) of its access bytes to the remote
+// tier, with both tiers operating concurrently: the binding tier limits the
+// rate, so BW_eff = min(B_L/(1-r), B_R/r). The optimum — the balanced-split
+// argument of §5 — is r* = B_R/(B_L+B_R), where BW_eff equals the aggregate
+// bandwidth.
+func (m Model) EffectiveBandwidth(remote float64) float64 {
+	switch {
+	case remote <= 0:
+		return m.LocalBandwidth
+	case remote >= 1:
+		return m.RemoteBandwidth
+	}
+	local := m.LocalBandwidth / (1 - remote)
+	rem := m.RemoteBandwidth / remote
+	if local < rem {
+		return local
+	}
+	return rem
+}
+
+// AttainableAt is the memory roofline at a given remote access fraction.
+func (m Model) AttainableAt(intensity, remote float64) float64 {
+	p := m.EffectiveBandwidth(remote) * intensity
+	if p > m.PeakFlops {
+		return m.PeakFlops
+	}
+	return p
+}
+
+// BalancedRemoteRatio is the remote access fraction that maximizes
+// EffectiveBandwidth — the R_BW reference point of Figure 9.
+func (m Model) BalancedRemoteRatio() float64 {
+	total := m.LocalBandwidth + m.RemoteBandwidth
+	if total == 0 {
+		return 0
+	}
+	return m.RemoteBandwidth / total
+}
+
+// RidgeIntensity is the arithmetic intensity where the single-tier memory
+// roof meets the compute roof: workloads below it are memory-bound.
+func (m Model) RidgeIntensity() float64 {
+	if m.LocalBandwidth == 0 {
+		return 0
+	}
+	return m.PeakFlops / m.LocalBandwidth
+}
+
+// Point is a measured (intensity, throughput) sample placed on the roofline,
+// one per application phase in Figure 5.
+type Point struct {
+	Label      string
+	Intensity  float64 // flop/byte
+	Throughput float64 // flop/s
+}
+
+// Bound classifies a point as compute- or memory-bound under the model.
+type Bound int
+
+const (
+	// MemoryBound means the phase sits left of the ridge point.
+	MemoryBound Bound = iota
+	// ComputeBound means the phase sits right of the ridge point.
+	ComputeBound
+)
+
+// String names the bound.
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute-bound"
+	}
+	return "memory-bound"
+}
+
+// Classify returns the bound regime of an intensity under the model.
+func (m Model) Classify(intensity float64) Bound {
+	if intensity >= m.RidgeIntensity() {
+		return ComputeBound
+	}
+	return MemoryBound
+}
+
+// Efficiency is the ratio of achieved throughput to the roofline ceiling at
+// the point's intensity (0..1, above 1 indicates the model underestimates).
+func (m Model) Efficiency(p Point) float64 {
+	ceil := m.Attainable(p.Intensity)
+	if ceil == 0 {
+		return 0
+	}
+	return p.Throughput / ceil
+}

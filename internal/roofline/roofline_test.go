@@ -1,0 +1,104 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testModel() Model {
+	return Model{PeakFlops: 250e9, LocalBandwidth: 73e9, RemoteBandwidth: 34e9}
+}
+
+func TestAttainableRegimes(t *testing.T) {
+	m := testModel()
+	// Deep in the memory-bound regime.
+	if got := m.Attainable(0.1); got != 7.3e9 {
+		t.Errorf("attainable(0.1) = %v, want 7.3e9", got)
+	}
+	// Deep in the compute-bound regime.
+	if got := m.Attainable(1000); got != 250e9 {
+		t.Errorf("attainable(1000) = %v, want peak", got)
+	}
+}
+
+func TestRidge(t *testing.T) {
+	m := testModel()
+	ridge := m.RidgeIntensity()
+	want := 250.0 / 73.0
+	if math.Abs(ridge-want) > 1e-9 {
+		t.Errorf("ridge = %v, want %v", ridge, want)
+	}
+	if m.Classify(ridge/2) != MemoryBound {
+		t.Errorf("below ridge should be memory-bound")
+	}
+	if m.Classify(ridge*2) != ComputeBound {
+		t.Errorf("above ridge should be compute-bound")
+	}
+}
+
+func TestAggregateRoofHigher(t *testing.T) {
+	m := testModel()
+	// The §2.1 misconception: an extra tier ADDS bandwidth.
+	if m.AggregateBandwidth() <= m.LocalBandwidth {
+		t.Errorf("aggregate bandwidth should exceed local-only")
+	}
+	i := 0.5
+	if m.AttainableAggregate(i) <= m.Attainable(i) {
+		t.Errorf("aggregate roof should dominate in the memory-bound regime")
+	}
+}
+
+func TestEffectiveBandwidthEndpoints(t *testing.T) {
+	m := testModel()
+	if got := m.EffectiveBandwidth(0); got != 73e9 {
+		t.Errorf("r=0 eff BW = %v, want local", got)
+	}
+	if got := m.EffectiveBandwidth(1); got != 34e9 {
+		t.Errorf("r=1 eff BW = %v, want remote", got)
+	}
+}
+
+func TestBalancedRatioMaximizesBandwidth(t *testing.T) {
+	m := testModel()
+	r := m.BalancedRemoteRatio()
+	want := 34.0 / 107.0
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("balanced ratio = %v, want %v", r, want)
+	}
+	best := m.EffectiveBandwidth(r)
+	if math.Abs(best-m.AggregateBandwidth()) > 1 {
+		t.Errorf("balanced split eff BW = %v, want aggregate %v", best, m.AggregateBandwidth())
+	}
+	for _, dr := range []float64{-0.1, -0.05, 0.05, 0.1} {
+		if m.EffectiveBandwidth(r+dr) > best+1e-6 {
+			t.Errorf("split %v beats the balanced split", r+dr)
+		}
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	m := testModel()
+	p := Point{Intensity: 0.1, Throughput: 3.65e9}
+	if e := m.Efficiency(p); math.Abs(e-0.5) > 1e-9 {
+		t.Errorf("efficiency = %v, want 0.5", e)
+	}
+}
+
+// Property: effective bandwidth is within [min(BL,BR), BL+BR] and the
+// roofline never exceeds the compute peak.
+func TestEffectiveBandwidthBoundsProperty(t *testing.T) {
+	m := testModel()
+	f := func(r100 uint8, i100 uint16) bool {
+		r := float64(r100%101) / 100
+		i := float64(i100) / 100
+		bw := m.EffectiveBandwidth(r)
+		if bw < 34e9-1 || bw > 107e9+1 {
+			return false
+		}
+		return m.AttainableAt(i, r) <= m.PeakFlops+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

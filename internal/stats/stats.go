@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FiveNum is a five-number summary (Tukey) of a sample, the statistic drawn
+// as the box-and-whisker plots of Figure 13.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// FiveNumber computes the five-number summary of xs.
+func FiveNumber(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		return FiveNum{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return FiveNum{
+		Min:    sorted[0],
+		Q1:     percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		Q3:     percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// IQR returns the interquartile range of the summary.
+func (f FiveNum) IQR() float64 { return f.Q3 - f.Q1 }
+
+// LinearFit returns the slope and intercept of the least-squares line through
+// (xs[i], ys[i]), plus the coefficient of determination r². It panics if the
+// slices differ in length and returns zeros when fewer than two points are
+// given or x has no variance.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	if len(xs) != len(ys) {
+		panic("stats: LinearFit input length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}
+
+// CDF computes the cumulative distribution of weights sorted in descending
+// order, normalized to [0,1]: out[i] is the fraction of total weight carried
+// by the i+1 largest entries. It is the core of the bandwidth–capacity
+// scaling curve (Figure 6). The input is not modified.
+func CDF(weights []float64) []float64 {
+	sorted := make([]float64, len(weights))
+	copy(sorted, weights)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	total := 0.0
+	for _, w := range sorted {
+		total += w
+	}
+	out := make([]float64, len(sorted))
+	run := 0.0
+	for i, w := range sorted {
+		run += w
+		if total > 0 {
+			out[i] = run / total
+		} else {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,292 @@
+// Package textplot renders the paper's tables and figures as plain-text
+// artifacts: aligned tables, horizontal bar charts, line/series plots on a
+// character grid, and box-and-whisker summaries. Every experiment driver
+// (internal/experiments) reduces its structured result to one of these
+// renderers, so the CLI and the benchmark harness print the same rows and
+// series the paper reports.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with column alignment and a header rule.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// BarChart renders labeled horizontal bars scaled to a maximum width.
+type BarChart struct {
+	Title string
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// Unit is appended to the printed value.
+	Unit   string
+	labels []string
+	values []float64
+}
+
+// NewBarChart returns an empty chart.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 50} }
+
+// Add appends one labeled bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxv := 0.0
+	maxl := 0
+	for i, v := range c.values {
+		if v > maxv {
+			maxv = v
+		}
+		if len(c.labels[i]) > maxl {
+			maxl = len(c.labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	for i, v := range c.values {
+		n := 0
+		if maxv > 0 && v > 0 {
+			n = int(v / maxv * float64(width))
+			if n == 0 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s %s%s\n", pad(c.labels[i], maxl), strings.Repeat("#", n), trimFloat(v), c.Unit)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points for a Plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders one or more series on a character grid with axis ranges.
+// Each series uses a distinct marker; overlapping points show the later
+// series' marker.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Cols/Rows is the grid size (default 64x20).
+	Cols, Rows int
+	series     []Series
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '@', '$', '%', '&'}
+
+// NewPlot returns an empty plot.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Cols: 64, Rows: 20}
+}
+
+// Add appends a named series. X and Y must be the same length.
+func (p *Plot) Add(name string, x, y []float64) {
+	if len(x) != len(y) {
+		panic("textplot: series length mismatch")
+	}
+	p.series = append(p.series, Series{Name: name, X: x, Y: y})
+}
+
+// String renders the grid, axes, and a marker legend.
+func (p *Plot) String() string {
+	cols, rows := p.Cols, p.Rows
+	if cols <= 0 {
+		cols = 64
+	}
+	if rows <= 0 {
+		rows = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	npts := 0
+	for _, s := range p.series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			npts++
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	if npts == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range p.series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(cols-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(rows-1))
+			grid[rows-1-cy][cx] = mk
+		}
+	}
+	fmt.Fprintf(&b, "%s max=%s\n", p.YLabel, trimFloat(ymax))
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", cols))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s: %s .. %s   (y min=%s)\n", p.XLabel, trimFloat(xmin), trimFloat(xmax), trimFloat(ymin))
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Box renders one five-number summary as a horizontal box-and-whisker line
+// scaled to [lo, hi] over width characters.
+func Box(label string, min, q1, med, q3, max, lo, hi float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	col := func(v float64) int {
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	line := []byte(strings.Repeat(" ", width))
+	cmin, cq1, cmed, cq3, cmax := col(min), col(q1), col(med), col(q3), col(max)
+	for i := cmin; i <= cmax; i++ {
+		line[i] = '-'
+	}
+	for i := cq1; i <= cq3; i++ {
+		line[i] = '='
+	}
+	line[cmin] = '|'
+	line[cmax] = '|'
+	line[cmed] = 'M'
+	return fmt.Sprintf("%s [%s] med=%s", label, string(line), trimFloat(med))
+}

@@ -1,0 +1,148 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "Name", "Value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 2.5)
+	out := tb.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header row malformed: %q", lines[1])
+	}
+	// Column start of "Value" must align with "1" and "2.5".
+	col := strings.Index(lines[1], "Value")
+	if lines[3][col] != '1' {
+		t.Errorf("row 1 misaligned: %q", lines[3])
+	}
+	if lines[4][col] != '2' {
+		t.Errorf("row 2 misaligned: %q", lines[4])
+	}
+}
+
+func TestTableNumRows(t *testing.T) {
+	tb := NewTable("", "A")
+	if tb.NumRows() != 0 {
+		t.Fatal("fresh table should have 0 rows")
+	}
+	tb.AddRow("x")
+	tb.AddRow("y")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableIntegerFloatFormatting(t *testing.T) {
+	tb := NewTable("", "V")
+	tb.AddRow(3.0)
+	out := tb.String()
+	if !strings.Contains(out, "3\n") {
+		t.Errorf("whole float should print without decimals: %q", out)
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	c := NewBarChart("bars")
+	c.Width = 10
+	c.Add("a", 100)
+	c.Add("b", 50)
+	c.Add("c", 0)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	nA := strings.Count(lines[1], "#")
+	nB := strings.Count(lines[2], "#")
+	nC := strings.Count(lines[3], "#")
+	if nA != 10 {
+		t.Errorf("max bar should fill width: %d", nA)
+	}
+	if nB != 5 {
+		t.Errorf("half bar = %d, want 5", nB)
+	}
+	if nC != 0 {
+		t.Errorf("zero bar should be empty, got %d", nC)
+	}
+}
+
+func TestBarChartNonzeroGetsAtLeastOneChar(t *testing.T) {
+	c := NewBarChart("")
+	c.Width = 10
+	c.Add("big", 1000)
+	c.Add("tiny", 1)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[1], "#") < 1 {
+		t.Errorf("tiny nonzero bar should render at least one #: %q", lines[1])
+	}
+}
+
+func TestPlotRendersMarkersAndLegend(t *testing.T) {
+	p := NewPlot("t", "x", "y")
+	p.Cols, p.Rows = 20, 5
+	p.Add("s1", []float64{0, 1, 2}, []float64{0, 1, 2})
+	p.Add("s2", []float64{0, 1, 2}, []float64{2, 1, 0})
+	out := p.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two distinct markers:\n%s", out)
+	}
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "s2") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("t", "x", "y")
+	if !strings.Contains(p.String(), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestPlotMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	NewPlot("", "", "").Add("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("flat", "x", "y")
+	p.Add("s", []float64{1, 1}, []float64{5, 5})
+	out := p.String()
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("degenerate ranges must not produce NaN:\n%s", out)
+	}
+}
+
+func TestBox(t *testing.T) {
+	out := Box("lbl", 1, 2, 3, 4, 5, 0, 10, 40)
+	if !strings.Contains(out, "lbl") || !strings.Contains(out, "M") {
+		t.Errorf("box missing label or median marker: %q", out)
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "=") {
+		t.Errorf("box missing whiskers or box body: %q", out)
+	}
+	if !strings.Contains(out, "med=3") {
+		t.Errorf("median annotation missing: %q", out)
+	}
+}
+
+func TestBoxDegenerateRange(t *testing.T) {
+	out := Box("x", 1, 1, 1, 1, 1, 1, 1, 20)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("degenerate box must not NaN: %q", out)
+	}
+}

@@ -1,0 +1,95 @@
+// Package top500 carries the historical memory-configuration dataset behind
+// the paper's Figure 1 (evolution of memory characteristics of leadership
+// supercomputers, 2008–2023) and Table 1 (memory configuration and estimated
+// memory cost of the November-2022 Top-10), together with the DDR/HBM cost
+// model the paper applies (HBM unit price 3–5x DDR).
+package top500
+
+import "sort"
+
+// System describes one machine's per-node memory configuration.
+type System struct {
+	Name string
+	// Year the system (or the referenced configuration) debuted.
+	Year int
+	// Rank in the November 2022 Top500 list (0 when the system is only
+	// part of the historical timeline).
+	Rank int
+	// DDRPerNodeGB and HBMPerNodeGB are capacities per compute node.
+	DDRPerNodeGB float64
+	HBMPerNodeGB float64
+	// HBMBandwidthTBs is HBM bandwidth per node in TB/s.
+	HBMBandwidthTBs float64
+	// Nodes is the number of compute nodes.
+	Nodes int
+}
+
+// TotalPerNodeGB is the combined DDR+HBM capacity per node.
+func (s System) TotalPerNodeGB() float64 { return s.DDRPerNodeGB + s.HBMPerNodeGB }
+
+// Top10Nov2022 reproduces the paper's Table 1 inventory (ranks follow the
+// November 2022 list the paper cites).
+func Top10Nov2022() []System {
+	return []System{
+		{Name: "Frontier", Year: 2021, Rank: 1, DDRPerNodeGB: 512, HBMPerNodeGB: 512, HBMBandwidthTBs: 12.8, Nodes: 9408},
+		{Name: "Fugaku", Year: 2020, Rank: 2, DDRPerNodeGB: 0, HBMPerNodeGB: 32, HBMBandwidthTBs: 1.0, Nodes: 158976},
+		{Name: "LUMI-G", Year: 2022, Rank: 3, DDRPerNodeGB: 512, HBMPerNodeGB: 512, HBMBandwidthTBs: 12.8, Nodes: 2560},
+		{Name: "Leonardo", Year: 2022, Rank: 4, DDRPerNodeGB: 512, HBMPerNodeGB: 256, HBMBandwidthTBs: 8.2, Nodes: 3456},
+		{Name: "Summit", Year: 2018, Rank: 5, DDRPerNodeGB: 512, HBMPerNodeGB: 96, HBMBandwidthTBs: 5.4, Nodes: 4608},
+		{Name: "Sierra", Year: 2018, Rank: 6, DDRPerNodeGB: 256, HBMPerNodeGB: 64, HBMBandwidthTBs: 3.6, Nodes: 4284},
+		{Name: "Sunway TaihuLight", Year: 2016, Rank: 7, DDRPerNodeGB: 32, HBMPerNodeGB: 0, Nodes: 40960},
+		{Name: "Perlmutter (GPU)", Year: 2021, Rank: 8, DDRPerNodeGB: 256, HBMPerNodeGB: 160, HBMBandwidthTBs: 6.2, Nodes: 1536},
+		{Name: "Selene", Year: 2020, Rank: 9, DDRPerNodeGB: 1024, HBMPerNodeGB: 640, HBMBandwidthTBs: 16, Nodes: 280},
+		{Name: "Tianhe-2A", Year: 2018, Rank: 10, DDRPerNodeGB: 192, HBMPerNodeGB: 0, Nodes: 16000},
+	}
+}
+
+// Timeline returns the 15-year evolution series of Figure 1: leadership
+// (No. 1) systems with per-node memory capacity and bandwidth. Entries are
+// sorted by year.
+func Timeline() []System {
+	syss := []System{
+		{Name: "Roadrunner", Year: 2008, DDRPerNodeGB: 32, Nodes: 3060},
+		{Name: "Jaguar", Year: 2009, DDRPerNodeGB: 16, Nodes: 18688},
+		{Name: "Tianhe-1A", Year: 2010, DDRPerNodeGB: 32, Nodes: 7168},
+		{Name: "K computer", Year: 2011, DDRPerNodeGB: 16, Nodes: 88128},
+		{Name: "Titan", Year: 2012, DDRPerNodeGB: 38, Nodes: 18688},
+		{Name: "Tianhe-2", Year: 2013, DDRPerNodeGB: 64, Nodes: 16000},
+		{Name: "Sunway TaihuLight", Year: 2016, DDRPerNodeGB: 32, Nodes: 40960},
+		{Name: "Summit", Year: 2018, DDRPerNodeGB: 512, HBMPerNodeGB: 96, HBMBandwidthTBs: 5.4, Nodes: 4608},
+		{Name: "Fugaku", Year: 2020, HBMPerNodeGB: 32, HBMBandwidthTBs: 1.0, Nodes: 158976},
+		{Name: "Frontier", Year: 2021, DDRPerNodeGB: 512, HBMPerNodeGB: 512, HBMBandwidthTBs: 12.8, Nodes: 9408},
+		{Name: "LUMI-G", Year: 2022, DDRPerNodeGB: 512, HBMPerNodeGB: 512, HBMBandwidthTBs: 12.8, Nodes: 2560},
+	}
+	sort.Slice(syss, func(i, j int) bool { return syss[i].Year < syss[j].Year })
+	return syss
+}
+
+// CostModel estimates memory cost per system following the paper's
+// assumption that HBM carries 3–5x the unit price of DDR.
+type CostModel struct {
+	// DDRDollarPerGB is the assumed DDR price in $/GB.
+	DDRDollarPerGB float64
+	// HBMMultiplier is the HBM unit-price multiple of DDR.
+	HBMMultiplier float64
+}
+
+// DefaultCostModel matches the paper's table: it reproduces the estimated
+// costs within rounding (e.g. Frontier: $34M DDR, $135M HBM) with DDR at
+// ~$7/GB and HBM at 4x.
+func DefaultCostModel() CostModel {
+	return CostModel{DDRDollarPerGB: 7, HBMMultiplier: 4}
+}
+
+// DDRCost estimates the system-wide DDR cost in dollars.
+func (m CostModel) DDRCost(s System) float64 {
+	return s.DDRPerNodeGB * float64(s.Nodes) * m.DDRDollarPerGB
+}
+
+// HBMCost estimates the system-wide HBM cost in dollars.
+func (m CostModel) HBMCost(s System) float64 {
+	return s.HBMPerNodeGB * float64(s.Nodes) * m.DDRDollarPerGB * m.HBMMultiplier
+}
+
+// TotalCost is DDR plus HBM cost in dollars.
+func (m CostModel) TotalCost(s System) float64 { return m.DDRCost(s) + m.HBMCost(s) }

@@ -1,0 +1,103 @@
+package top500
+
+import "testing"
+
+func TestTop10HasTenSystems(t *testing.T) {
+	syss := Top10Nov2022()
+	if len(syss) != 10 {
+		t.Fatalf("got %d systems, want 10", len(syss))
+	}
+	for i, s := range syss {
+		if s.Rank != i+1 {
+			t.Errorf("system %s rank = %d, want %d", s.Name, s.Rank, i+1)
+		}
+		if s.Nodes <= 0 {
+			t.Errorf("system %s has no node count", s.Name)
+		}
+	}
+}
+
+func TestFrontierConfig(t *testing.T) {
+	s := Top10Nov2022()[0]
+	if s.Name != "Frontier" || s.DDRPerNodeGB != 512 || s.HBMPerNodeGB != 512 {
+		t.Errorf("Frontier config wrong: %+v", s)
+	}
+	if s.TotalPerNodeGB() != 1024 {
+		t.Errorf("Frontier total/node = %v, want 1024", s.TotalPerNodeGB())
+	}
+}
+
+func TestTimelineSortedAndGrowing(t *testing.T) {
+	tl := Timeline()
+	if len(tl) < 8 {
+		t.Fatalf("timeline too short: %d entries", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Year < tl[i-1].Year {
+			t.Fatalf("timeline not sorted at %d", i)
+		}
+	}
+	// The motivating trend: capacity per node grew by more than an order
+	// of magnitude over 15 years.
+	first, last := tl[0], tl[len(tl)-1]
+	if last.TotalPerNodeGB() < 10*first.TotalPerNodeGB() {
+		t.Errorf("per-node capacity growth %vGB -> %vGB is below 10x",
+			first.TotalPerNodeGB(), last.TotalPerNodeGB())
+	}
+}
+
+func TestCostModelMatchesPaperEstimates(t *testing.T) {
+	m := DefaultCostModel()
+	// Paper Table 1 rounded estimates in $M.
+	cases := []struct {
+		name     string
+		ddrM     float64
+		hbmM     float64
+		tolerant float64 // relative tolerance
+	}{
+		{"Frontier", 34, 135, 0.15},
+		{"LUMI-G", 9.2, 35, 0.15},
+		{"Summit", 17, 12, 0.25},
+		{"Sunway TaihuLight", 9.2, 0, 0.15},
+	}
+	idx := map[string]System{}
+	for _, s := range Top10Nov2022() {
+		idx[s.Name] = s
+	}
+	for _, c := range cases {
+		s, ok := idx[c.name]
+		if !ok {
+			t.Fatalf("system %s missing", c.name)
+		}
+		gotDDR := m.DDRCost(s) / 1e6
+		gotHBM := m.HBMCost(s) / 1e6
+		if !within(gotDDR, c.ddrM, c.tolerant) {
+			t.Errorf("%s DDR cost = $%.1fM, paper ~$%.1fM", c.name, gotDDR, c.ddrM)
+		}
+		if !within(gotHBM, c.hbmM, c.tolerant) {
+			t.Errorf("%s HBM cost = $%.1fM, paper ~$%.1fM", c.name, gotHBM, c.hbmM)
+		}
+	}
+}
+
+func within(got, want, tol float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d/want <= tol
+}
+
+func TestHBMCostlierThanDDRPerGB(t *testing.T) {
+	m := DefaultCostModel()
+	if m.HBMMultiplier < 3 || m.HBMMultiplier > 5 {
+		t.Errorf("HBM multiplier %v outside the paper's 3-5x band", m.HBMMultiplier)
+	}
+	s := System{DDRPerNodeGB: 100, HBMPerNodeGB: 100, Nodes: 1}
+	if m.HBMCost(s) <= m.DDRCost(s) {
+		t.Errorf("equal capacity should cost more in HBM")
+	}
+}

@@ -1,0 +1,337 @@
+// Package trace records and replays the operation stream a workload drives
+// through an emulated machine. This is the trace-driven backbone of the
+// methodology: a workload is executed (and recorded) once, then the trace
+// is replayed onto machines with different memory configurations — capacity
+// splits, prefetcher settings, placement policies — without re-running the
+// application, exactly how the paper reasons about deployment options from
+// one set of profiled runs.
+//
+// The format is a compact binary stream (varint-encoded deltas for
+// addresses, one byte per opcode) so full application traces stay small
+// enough to keep on disk next to the profile.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Op is the operation kind of one trace event.
+type Op byte
+
+// Operation kinds.
+const (
+	OpAlloc Op = iota + 1
+	OpFree
+	OpRead
+	OpWrite
+	OpFlops
+	OpPhaseStart
+	OpPhaseEnd
+	OpTick
+)
+
+// Event is one decoded trace record.
+type Event struct {
+	Op Op
+	// Name is the region name (OpAlloc) or phase name (OpPhaseStart/End).
+	Name string
+	// Addr is the region base (OpAlloc/OpFree) or access address.
+	Addr uint64
+	// N is the region/access size in bytes.
+	N uint64
+	// Placement applies to OpAlloc.
+	Placement mem.Placement
+	// Flops applies to OpFlops.
+	Flops float64
+}
+
+const magic = "MDTR1\n"
+
+// Writer encodes events to a stream.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	n   int
+}
+
+// NewWriter writes the header and returns an encoder.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Events returns the number of events written so far.
+func (w *Writer) Events() int { return w.n }
+
+func (w *Writer) varint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	if _, err := w.w.Write(buf[:n]); err != nil && w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) str(s string) {
+	w.varint(uint64(len(s)))
+	if _, err := w.w.WriteString(s); err != nil && w.err == nil {
+		w.err = err
+	}
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) {
+	if w.err != nil {
+		return
+	}
+	if err := w.w.WriteByte(byte(e.Op)); err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+		return
+	}
+	switch e.Op {
+	case OpAlloc:
+		w.str(e.Name)
+		w.varint(e.Addr)
+		w.varint(e.N)
+		w.varint(uint64(e.Placement))
+	case OpFree:
+		w.varint(e.Addr)
+	case OpRead, OpWrite:
+		w.varint(e.Addr)
+		w.varint(e.N)
+	case OpFlops:
+		w.varint(math.Float64bits(e.Flops))
+	case OpPhaseStart, OpPhaseEnd:
+		w.str(e.Name)
+	case OpTick:
+	default:
+		w.err = fmt.Errorf("trace: unknown op %d", e.Op)
+	}
+	w.n++
+}
+
+// Flush completes the stream. Call before using the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes events from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic (not a memdis trace)")
+	}
+	return &Reader{r: br}, nil
+}
+
+func (r *Reader) str() (string, error) {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Next decodes one event; io.EOF signals a clean end of trace.
+func (r *Reader) Next() (Event, error) {
+	op, err := r.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF passes through
+	}
+	e := Event{Op: Op(op)}
+	fail := func(err error) (Event, error) {
+		return Event{}, fmt.Errorf("trace: decoding op %d: %w", op, err)
+	}
+	switch e.Op {
+	case OpAlloc:
+		if e.Name, err = r.str(); err != nil {
+			return fail(err)
+		}
+		if e.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+		if e.N, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+		pl, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fail(err)
+		}
+		e.Placement = mem.Placement(pl)
+	case OpFree:
+		if e.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	case OpRead, OpWrite:
+		if e.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+		if e.N, err = binary.ReadUvarint(r.r); err != nil {
+			return fail(err)
+		}
+	case OpFlops:
+		bits, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fail(err)
+		}
+		e.Flops = math.Float64frombits(bits)
+	case OpPhaseStart, OpPhaseEnd:
+		if e.Name, err = r.str(); err != nil {
+			return fail(err)
+		}
+	case OpTick:
+	default:
+		return Event{}, fmt.Errorf("trace: unknown op %d", op)
+	}
+	return e, nil
+}
+
+// Recorder implements machine.Hook, streaming every operation to a Writer.
+type Recorder struct {
+	W *Writer
+}
+
+var _ machine.Hook = Recorder{}
+
+// OnAlloc implements machine.Hook.
+func (r Recorder) OnAlloc(reg *mem.Region, pl mem.Placement) {
+	r.W.Write(Event{Op: OpAlloc, Name: reg.Name, Addr: reg.Base, N: reg.Size, Placement: pl})
+}
+
+// OnFree implements machine.Hook.
+func (r Recorder) OnFree(reg *mem.Region) { r.W.Write(Event{Op: OpFree, Addr: reg.Base}) }
+
+// OnAccess implements machine.Hook.
+func (r Recorder) OnAccess(addr, n uint64, write bool) {
+	op := OpRead
+	if write {
+		op = OpWrite
+	}
+	r.W.Write(Event{Op: op, Addr: addr, N: n})
+}
+
+// OnFlops implements machine.Hook.
+func (r Recorder) OnFlops(n float64) { r.W.Write(Event{Op: OpFlops, Flops: n}) }
+
+// OnPhase implements machine.Hook.
+func (r Recorder) OnPhase(name string, start bool) {
+	op := OpPhaseEnd
+	if start {
+		op = OpPhaseStart
+	}
+	r.W.Write(Event{Op: op, Name: name})
+}
+
+// OnTick implements machine.Hook.
+func (r Recorder) OnTick() { r.W.Write(Event{Op: OpTick}) }
+
+// Record executes the workload on the machine while streaming its
+// operations to w.
+func Record(m *machine.Machine, run func(*machine.Machine), w io.Writer) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	m.SetHook(Recorder{W: tw})
+	defer m.SetHook(nil)
+	run(m)
+	return tw.Flush()
+}
+
+// Replay applies a recorded trace to a fresh machine. Region bases are
+// remapped through the replay allocator, so the trace can be replayed onto
+// machines with different capacities, placement behaviour, or prefetcher
+// settings than the one it was recorded on.
+func Replay(m *machine.Machine, r io.Reader) error {
+	tr, err := NewReader(r)
+	if err != nil {
+		return err
+	}
+	// Map recorded region base -> replayed region, for address remapping.
+	regions := map[uint64]*mem.Region{}
+	remap := func(addr uint64) (uint64, bool) {
+		// Find the recorded region containing addr. Linear scan over live
+		// regions; traces carry few live regions at a time.
+		for base, reg := range regions {
+			if addr >= base && addr < base+reg.Size {
+				return reg.Base + (addr - base), true
+			}
+		}
+		return 0, false
+	}
+	open := false
+	for {
+		e, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch e.Op {
+		case OpAlloc:
+			regions[e.Addr] = m.AllocPlaced(e.Name, e.N, e.Placement)
+		case OpFree:
+			reg, ok := regions[e.Addr]
+			if !ok {
+				return fmt.Errorf("trace: free of unknown region %#x", e.Addr)
+			}
+			delete(regions, e.Addr)
+			m.Free(reg)
+		case OpRead, OpWrite:
+			a, ok := remap(e.Addr)
+			if !ok {
+				return fmt.Errorf("trace: access to unmapped address %#x", e.Addr)
+			}
+			if e.Op == OpRead {
+				m.Read(a, e.N)
+			} else {
+				m.Write(a, e.N)
+			}
+		case OpFlops:
+			m.AddFlops(e.Flops)
+		case OpPhaseStart:
+			m.StartPhase(e.Name)
+			open = true
+		case OpPhaseEnd:
+			if open {
+				m.EndPhase()
+				open = false
+			}
+		case OpTick:
+			m.Tick()
+		}
+	}
+	if open {
+		m.EndPhase()
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/workloads/bfs"
+	"repro/internal/workloads/hypre"
+)
+
+func TestRoundTripEvents(t *testing.T) {
+	events := []Event{
+		{Op: OpAlloc, Name: "A", Addr: 4096, N: 8192, Placement: mem.PlaceRemote},
+		{Op: OpPhaseStart, Name: "p1"},
+		{Op: OpRead, Addr: 4096, N: 64},
+		{Op: OpWrite, Addr: 8192, N: 128},
+		{Op: OpFlops, Flops: 12.5},
+		{Op: OpTick},
+		{Op: OpPhaseEnd, Name: "p1"},
+		{Op: OpFree, Addr: 4096},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		w.Write(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != len(events) {
+		t.Fatalf("wrote %d events, want %d", w.Events(), len(events))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOTATRACE")); err == nil {
+		t.Fatal("bad magic should be rejected")
+	}
+}
+
+func TestTruncatedTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Op: OpAlloc, Name: "region-with-a-long-name", Addr: 1, N: 2})
+	_ = w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record should be a hard error, got %v", err)
+	}
+}
+
+// recordRun records a workload into a buffer and returns the machine it ran
+// on plus the trace bytes.
+func recordRun(t *testing.T, cfg machine.Config, run func(*machine.Machine)) (*machine.Machine, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	m := machine.New(cfg)
+	if err := Record(m, run, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+func samePhases(t *testing.T, a, b []machine.PhaseStats) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("phase count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Flops != b[i].Flops ||
+			a[i].LocalBytes != b[i].LocalBytes || a[i].RemoteBytes != b[i].RemoteBytes ||
+			a[i].Cache != b[i].Cache {
+			t.Fatalf("phase %s differs:\n orig  %+v\n replay %+v", a[i].Name, a[i], b[i])
+		}
+	}
+}
+
+func TestReplayReproducesOriginalRun(t *testing.T) {
+	cfg := machine.Default()
+	w := hypre.New(1)
+	orig, data := recordRun(t, cfg, w.Run)
+
+	replayM := machine.New(cfg)
+	if err := Replay(replayM, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	samePhases(t, orig.Phases(), replayM.Phases())
+}
+
+func TestReplayOntoDifferentCapacity(t *testing.T) {
+	// Record on an unbounded single-tier machine; replay onto a pooled
+	// configuration. The replay must spill to the remote tier even though
+	// the recording machine never did — the profile-once workflow.
+	cfg := machine.Default()
+	w := bfs.New(1)
+	w.Roots = 1
+	orig, data := recordRun(t, cfg, w.Run)
+	if ratio := orig.Phases()[1].RemoteAccessRatio; ratio != 0 {
+		t.Fatalf("unbounded recording should be all-local, got %.2f remote", ratio)
+	}
+
+	pooled := machine.New(cfg.WithLocalCapacity(orig.PeakFootprint() / 4))
+	if err := Replay(pooled, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	p2, ok := pooled.Phase("p2")
+	if !ok {
+		t.Fatal("replay lost the p2 phase")
+	}
+	if p2.RemoteAccessRatio < 0.5 {
+		t.Fatalf("replay at 25%% local should be mostly remote, got %.2f", p2.RemoteAccessRatio)
+	}
+}
+
+func TestReplayOntoPrefetchDisabled(t *testing.T) {
+	cfg := machine.Default()
+	w := hypre.New(1)
+	orig, data := recordRun(t, cfg, w.Run)
+
+	noPF := machine.New(cfg.WithPrefetch(false))
+	if err := Replay(noPF, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	var pfOrig, pfReplay uint64
+	for _, ph := range orig.Phases() {
+		pfOrig += ph.Cache.PrefetchFills
+	}
+	for _, ph := range noPF.Phases() {
+		pfReplay += ph.Cache.PrefetchFills
+	}
+	if pfOrig == 0 {
+		t.Fatal("original run should prefetch")
+	}
+	if pfReplay != 0 {
+		t.Fatalf("prefetch-disabled replay issued %d prefetches", pfReplay)
+	}
+}
+
+func TestReplayErrorsOnUnknownRegion(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Op: OpPhaseStart, Name: "p"})
+	w.Write(Event{Op: OpRead, Addr: 1 << 30, N: 64})
+	_ = w.Flush()
+	m := machine.New(machine.Default())
+	if err := Replay(m, &buf); err == nil {
+		t.Fatal("access outside any recorded region must error")
+	}
+}
+
+func TestReplayClosesDanglingPhase(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Event{Op: OpAlloc, Name: "a", Addr: 4096, N: 4096})
+	w.Write(Event{Op: OpPhaseStart, Name: "p"})
+	w.Write(Event{Op: OpRead, Addr: 4096, N: 64})
+	_ = w.Flush() // trace ends mid-phase
+	m := machine.New(machine.Default())
+	if err := Replay(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Phases()) != 1 {
+		t.Fatalf("dangling phase should be closed, got %d phases", len(m.Phases()))
+	}
+}

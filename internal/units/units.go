@@ -1,0 +1,87 @@
+// Package units provides byte, bandwidth, and duration formatting helpers
+// shared by the experiment reports and CLIs.
+package units
+
+import "fmt"
+
+// Byte-size constants.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// Decimal (SI) constants used for bandwidth, matching the paper's GB/s.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// Bytes renders a byte count with a binary-unit suffix.
+func Bytes(n uint64) string {
+	switch {
+	case n >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(n)/TiB)
+	case n >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(n)/GiB)
+	case n >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(n)/MiB)
+	case n >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(n)/KiB)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Bandwidth renders a rate in bytes/second using decimal units (GB/s etc.),
+// the convention used in the paper's link and STREAM figures.
+func Bandwidth(bytesPerSec float64) string {
+	switch {
+	case bytesPerSec >= TB:
+		return fmt.Sprintf("%.2f TB/s", bytesPerSec/TB)
+	case bytesPerSec >= GB:
+		return fmt.Sprintf("%.2f GB/s", bytesPerSec/GB)
+	case bytesPerSec >= MB:
+		return fmt.Sprintf("%.2f MB/s", bytesPerSec/MB)
+	case bytesPerSec >= KB:
+		return fmt.Sprintf("%.2f KB/s", bytesPerSec/KB)
+	default:
+		return fmt.Sprintf("%.2f B/s", bytesPerSec)
+	}
+}
+
+// Flops renders a floating-point rate (Gflop/s for typical magnitudes).
+func Flops(flopsPerSec float64) string {
+	switch {
+	case flopsPerSec >= 1e12:
+		return fmt.Sprintf("%.2f Tflop/s", flopsPerSec/1e12)
+	case flopsPerSec >= 1e9:
+		return fmt.Sprintf("%.2f Gflop/s", flopsPerSec/1e9)
+	case flopsPerSec >= 1e6:
+		return fmt.Sprintf("%.2f Mflop/s", flopsPerSec/1e6)
+	default:
+		return fmt.Sprintf("%.2f flop/s", flopsPerSec)
+	}
+}
+
+// Seconds renders a duration given in seconds with adaptive precision.
+func Seconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.2f us", s*1e6)
+	default:
+		return fmt.Sprintf("%.2f ns", s*1e9)
+	}
+}
+
+// Percent renders a ratio in [0,1] as a percentage.
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%.1f%%", ratio*100)
+}

@@ -1,0 +1,62 @@
+package units
+
+import "testing"
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{5 * GiB, "5.00 GiB"},
+		{2 * TiB, "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if got := Bandwidth(34e9); got != "34.00 GB/s" {
+		t.Errorf("Bandwidth = %q", got)
+	}
+	if got := Bandwidth(12.8e12); got != "12.80 TB/s" {
+		t.Errorf("Bandwidth = %q", got)
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if got := Flops(250e9); got != "250.00 Gflop/s" {
+		t.Errorf("Flops = %q", got)
+	}
+	if got := Flops(1.5e12); got != "1.50 Tflop/s" {
+		t.Errorf("Flops = %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.5, "2.50 s"},
+		{0.0025, "2.50 ms"},
+		{2.5e-6, "2.50 us"},
+		{202e-9, "202.00 ns"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.135); got != "13.5%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

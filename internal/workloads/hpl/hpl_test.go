@@ -1,0 +1,113 @@
+package hpl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// tiny returns a small instance for correctness tests.
+func tiny(n, nb int) *HPL {
+	return &HPL{N: n, NB: nb, seed: 12345}
+}
+
+func TestFactorizationResidual(t *testing.T) {
+	for _, n := range []int{16, 33, 64} {
+		h := tiny(n, 8)
+		m := machine.New(machine.Default())
+		h.Run(m)
+		if h.RelResidual > 1e-10 {
+			t.Errorf("N=%d: residual = %g, want < 1e-10", n, h.RelResidual)
+		}
+	}
+}
+
+func TestBlockSizeDoesNotChangeSolution(t *testing.T) {
+	var first []float64
+	for _, nb := range []int{4, 8, 16, 48} {
+		h := tiny(48, nb)
+		m := machine.New(machine.Default())
+		h.Run(m)
+		if first == nil {
+			first = h.X
+			continue
+		}
+		for i := range first {
+			if math.Abs(first[i]-h.X[i]) > 1e-8 {
+				t.Fatalf("nb=%d: solution differs at %d: %v vs %v", nb, i, h.X[i], first[i])
+			}
+		}
+	}
+}
+
+func TestPhasesRecorded(t *testing.T) {
+	// Use the real x1 input so the footprint exceeds the modeled cache
+	// and p2 generates memory traffic.
+	h := New(1)
+	m := machine.New(machine.Default())
+	h.Run(m)
+	ph := m.Phases()
+	if len(ph) != 2 || ph[0].Name != "p1" || ph[1].Name != "p2" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	// HPL p2 has high arithmetic intensity: flops ~ 2/3 N^3 over N^2 data.
+	ai1 := ph[0].ArithmeticIntensity()
+	ai2 := ph[1].ArithmeticIntensity()
+	if ai2 <= ai1 {
+		t.Errorf("factorization AI (%v) should exceed init AI (%v)", ai2, ai1)
+	}
+	n := float64(h.N)
+	if ph[1].Flops < n*n*n/2 {
+		t.Errorf("p2 flops = %v, seems too low for N=%d", ph[1].Flops, h.N)
+	}
+}
+
+func TestScalesHaveIncreasingFootprint(t *testing.T) {
+	var prev uint64
+	for _, s := range []int{1, 2, 4} {
+		h := New(s)
+		if h.N <= 0 || h.NB <= 0 {
+			t.Fatalf("bad config at scale %d: %+v", s, h)
+		}
+		fp := uint64(h.N) * uint64(h.N) * 8
+		if fp <= prev {
+			t.Errorf("scale %d footprint %d not larger than previous %d", s, fp, prev)
+		}
+		prev = fp
+	}
+	// The 1:2:4 ratio of the paper (within 5%).
+	f1 := float64(New(1).N) * float64(New(1).N)
+	f4 := float64(New(4).N) * float64(New(4).N)
+	if r := f4 / f1; r < 3.8 || r > 4.2 {
+		t.Errorf("x4/x1 footprint ratio = %v, want ~4", r)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []float64 {
+		h := tiny(32, 8)
+		m := machine.New(machine.Default())
+		h.Run(m)
+		return h.X
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic solution at %d", i)
+		}
+	}
+}
+
+func TestTicksEmitted(t *testing.T) {
+	h := tiny(64, 8)
+	m := machine.New(machine.Default())
+	h.Run(m)
+	p2, ok := m.Phase("p2")
+	if !ok {
+		t.Fatal("no p2 phase")
+	}
+	if len(p2.Ticks) != 8 {
+		t.Errorf("ticks = %d, want 8 (one per block step)", len(p2.Ticks))
+	}
+}

@@ -1,0 +1,229 @@
+// Package hypre implements the structured-interface solver workload of the
+// paper's Table 2 (Hypre ex4-style): a preconditioned conjugate gradient
+// iteration on the 7-point Laplacian over an n^3 grid with a Jacobi
+// (diagonal) preconditioner.
+//
+// The profile matches the paper's characterization: low arithmetic
+// intensity, streaming access uniformly across the whole footprint (the
+// overlapping CDF curves of Figure 6e), high prefetch coverage, and — being
+// bandwidth-bound — the highest sensitivity to pool interference among the
+// six workloads (Figure 10).
+package hypre
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+// Hypre is one solver instance.
+type Hypre struct {
+	// N is the grid edge; the domain is N^3 points.
+	N int
+	// MaxIters bounds the CG iteration count; Tol is the relative
+	// residual target.
+	MaxIters int
+	Tol      float64
+
+	// After Run: Iters performed and final relative residual.
+	Iters       int
+	RelResidual float64
+	// Solution is the computed grid solution (for verification).
+	Solution []float64
+}
+
+// New returns a Hypre instance at input scale 1, 2 or 4 (grid edge grows by
+// 4^(1/3) per step to preserve the paper's 1:2:4 memory ratio).
+func New(scale int) *Hypre {
+	n := 48
+	switch scale {
+	case 2:
+		n = 60
+	case 4:
+		n = 76
+	}
+	return &Hypre{N: n, MaxIters: 40, Tol: 1e-8}
+}
+
+// Name implements workloads.Workload.
+func (h *Hypre) Name() string { return "Hypre" }
+
+// idx maps (i,j,k) to the linear index; i is the unit-stride dimension.
+func (h *Hypre) idx(i, j, k int) int { return (k*h.N+j)*h.N + i }
+
+// Run implements workloads.Workload.
+func (h *Hypre) Run(m *machine.Machine) {
+	n := h.N
+	total := n * n * n
+
+	// ---- p1: setup -----------------------------------------------------
+	m.StartPhase("p1")
+	x := workloads.NewVec(m, "x", total)
+	bv := workloads.NewVec(m, "b", total)
+	r := workloads.NewVec(m, "r", total)
+	p := workloads.NewVec(m, "p", total)
+	q := workloads.NewVec(m, "q", total)
+	z := workloads.NewVec(m, "z", total)
+	// RHS: a smooth source term; x0 = 0.
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			base := h.idx(0, j, k)
+			for i := 0; i < n; i++ {
+				fi := float64(i+1) / float64(n+1)
+				fj := float64(j+1) / float64(n+1)
+				fk := float64(k+1) / float64(n+1)
+				bv.Data[base+i] = math.Sin(math.Pi*fi) * math.Sin(math.Pi*fj) * math.Sin(math.Pi*fk)
+			}
+			bv.WriteRange(base, n)
+			x.WriteRange(base, n)
+			m.AddFlops(float64(4 * n))
+		}
+	}
+	m.EndPhase()
+
+	// ---- p2: PCG solve ---------------------------------------------------
+	m.StartPhase("p2")
+	// r = b - A*x0 = b (x0 = 0).
+	copy(r.Data, bv.Data)
+	bv.ReadRange(0, total)
+	r.WriteRange(0, total)
+	// Jacobi preconditioner: z = r / diag(A); diag = 6.
+	h.precond(m, z, r)
+	copy(p.Data, z.Data)
+	z.ReadRange(0, total)
+	p.WriteRange(0, total)
+	rz := h.dot(m, r, z)
+	norm0 := math.Sqrt(h.dot(m, r, r))
+	if norm0 == 0 {
+		norm0 = 1
+	}
+	iters := 0
+	rel := 1.0
+	for it := 0; it < h.MaxIters; it++ {
+		h.applyStencil(m, q, p)
+		pq := h.dot(m, p, q)
+		if pq == 0 {
+			break
+		}
+		alpha := rz / pq
+		h.axpy(m, x, p, alpha)  // x += alpha p
+		h.axpy(m, r, q, -alpha) // r -= alpha q
+		h.precond(m, z, r)      // z = M^-1 r
+		rzNew := h.dot(m, r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		h.xpay(m, p, z, beta) // p = z + beta p
+		iters = it + 1
+		rel = math.Sqrt(h.dot(m, r, r)) / norm0
+		m.Tick()
+		if rel < h.Tol {
+			break
+		}
+	}
+	m.EndPhase()
+
+	h.Iters = iters
+	h.RelResidual = rel
+	h.Solution = append([]float64(nil), x.Data...)
+}
+
+// applyStencil computes q = A p for the 7-point Laplacian with Dirichlet
+// boundaries: (Ap)_ijk = 6 p_ijk - sum of the six neighbours.
+func (h *Hypre) applyStencil(m *machine.Machine, q, p *workloads.Vec) {
+	n := h.N
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			base := h.idx(0, j, k)
+			// The row itself plus its neighbour rows stream in.
+			p.ReadRange(base, n)
+			if j > 0 {
+				p.ReadRange(h.idx(0, j-1, k), n)
+			}
+			if j < n-1 {
+				p.ReadRange(h.idx(0, j+1, k), n)
+			}
+			if k > 0 {
+				p.ReadRange(h.idx(0, j, k-1), n)
+			}
+			if k < n-1 {
+				p.ReadRange(h.idx(0, j, k+1), n)
+			}
+			q.WriteRange(base, n)
+			for i := 0; i < n; i++ {
+				v := 6 * p.Data[base+i]
+				if i > 0 {
+					v -= p.Data[base+i-1]
+				}
+				if i < n-1 {
+					v -= p.Data[base+i+1]
+				}
+				if j > 0 {
+					v -= p.Data[h.idx(i, j-1, k)]
+				}
+				if j < n-1 {
+					v -= p.Data[h.idx(i, j+1, k)]
+				}
+				if k > 0 {
+					v -= p.Data[h.idx(i, j, k-1)]
+				}
+				if k < n-1 {
+					v -= p.Data[h.idx(i, j, k+1)]
+				}
+				q.Data[base+i] = v
+			}
+			m.AddFlops(float64(7 * n))
+		}
+	}
+}
+
+// precond applies the Jacobi preconditioner z = r / 6.
+func (h *Hypre) precond(m *machine.Machine, z, r *workloads.Vec) {
+	total := len(r.Data)
+	r.ReadRange(0, total)
+	z.WriteRange(0, total)
+	inv := 1.0 / 6.0
+	for i := range z.Data {
+		z.Data[i] = r.Data[i] * inv
+	}
+	m.AddFlops(float64(total))
+}
+
+// dot returns a . b with streaming reads.
+func (h *Hypre) dot(m *machine.Machine, a, b *workloads.Vec) float64 {
+	total := len(a.Data)
+	a.ReadRange(0, total)
+	if a != b {
+		b.ReadRange(0, total)
+	}
+	s := 0.0
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	m.AddFlops(float64(2 * total))
+	return s
+}
+
+// axpy computes y += alpha * x.
+func (h *Hypre) axpy(m *machine.Machine, y, x *workloads.Vec, alpha float64) {
+	total := len(y.Data)
+	x.ReadRange(0, total)
+	y.ReadRange(0, total)
+	y.WriteRange(0, total)
+	for i := range y.Data {
+		y.Data[i] += alpha * x.Data[i]
+	}
+	m.AddFlops(float64(2 * total))
+}
+
+// xpay computes p = z + beta * p.
+func (h *Hypre) xpay(m *machine.Machine, p, z *workloads.Vec, beta float64) {
+	total := len(p.Data)
+	z.ReadRange(0, total)
+	p.ReadRange(0, total)
+	p.WriteRange(0, total)
+	for i := range p.Data {
+		p.Data[i] = z.Data[i] + beta*p.Data[i]
+	}
+	m.AddFlops(float64(2 * total))
+}

@@ -1,0 +1,119 @@
+package hypre
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestCGConverges(t *testing.T) {
+	h := &Hypre{N: 12, MaxIters: 200, Tol: 1e-8}
+	m := machine.New(machine.Default())
+	h.Run(m)
+	if h.RelResidual > 1e-8 {
+		t.Errorf("relative residual = %g after %d iters, want <= 1e-8", h.RelResidual, h.Iters)
+	}
+}
+
+func TestSolutionSolvesSystem(t *testing.T) {
+	h := &Hypre{N: 8, MaxIters: 300, Tol: 1e-10}
+	m := machine.New(machine.Default())
+	h.Run(m)
+	n := h.N
+	idx := func(i, j, k int) int { return (k*n+j)*n + i }
+	// Recompute A*x and compare against the RHS used in Run.
+	maxErr := 0.0
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				v := 6 * h.Solution[idx(i, j, k)]
+				if i > 0 {
+					v -= h.Solution[idx(i-1, j, k)]
+				}
+				if i < n-1 {
+					v -= h.Solution[idx(i+1, j, k)]
+				}
+				if j > 0 {
+					v -= h.Solution[idx(i, j-1, k)]
+				}
+				if j < n-1 {
+					v -= h.Solution[idx(i, j+1, k)]
+				}
+				if k > 0 {
+					v -= h.Solution[idx(i, j, k-1)]
+				}
+				if k < n-1 {
+					v -= h.Solution[idx(i, j, k+1)]
+				}
+				fi := float64(i+1) / float64(n+1)
+				fj := float64(j+1) / float64(n+1)
+				fk := float64(k+1) / float64(n+1)
+				b := math.Sin(math.Pi*fi) * math.Sin(math.Pi*fj) * math.Sin(math.Pi*fk)
+				if e := math.Abs(v - b); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+	}
+	if maxErr > 1e-7 {
+		t.Errorf("max |Ax-b| = %g, want < 1e-7", maxErr)
+	}
+}
+
+func TestLowArithmeticIntensity(t *testing.T) {
+	h := New(1)
+	h.MaxIters = 5
+	m := machine.New(machine.Default())
+	h.Run(m)
+	p2, ok := m.Phase("p2")
+	if !ok {
+		t.Fatal("missing p2")
+	}
+	ai := p2.ArithmeticIntensity()
+	// Hypre sits deep in the memory-bound regime (paper Figure 5).
+	if ai > 2 {
+		t.Errorf("AI = %v, want < 2 flop/byte (memory-bound)", ai)
+	}
+	if ai <= 0 {
+		t.Errorf("AI = %v, want > 0", ai)
+	}
+}
+
+func TestScaleRatio(t *testing.T) {
+	v := func(s int) float64 {
+		h := New(s)
+		return float64(h.N * h.N * h.N)
+	}
+	if r := v(4) / v(1); r < 3.5 || r > 4.5 {
+		t.Errorf("x4/x1 volume ratio = %v, want ~4", r)
+	}
+	if r := v(2) / v(1); r < 1.7 || r > 2.3 {
+		t.Errorf("x2/x1 volume ratio = %v, want ~2", r)
+	}
+}
+
+func TestPhasesAndTicks(t *testing.T) {
+	h := &Hypre{N: 12, MaxIters: 7, Tol: 0} // run exactly MaxIters
+	m := machine.New(machine.Default())
+	h.Run(m)
+	ph := m.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %d, want 2", len(ph))
+	}
+	if len(ph[1].Ticks) != 7 {
+		t.Errorf("ticks = %d, want 7 (one per CG iteration)", len(ph[1].Ticks))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		h := &Hypre{N: 10, MaxIters: 30, Tol: 1e-9}
+		m := machine.New(machine.Default())
+		h.Run(m)
+		return h.RelResidual
+	}
+	if run() != run() {
+		t.Errorf("non-deterministic residual")
+	}
+}

@@ -1,0 +1,199 @@
+package nekrs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestGLLPointsOrder2(t *testing.T) {
+	// 3-point GLL on [-1,1]: {-1, 0, 1} with weights {1/3, 4/3, 1/3}.
+	x, w := gll(3)
+	wantX := []float64{-1, 0, 1}
+	wantW := []float64{1.0 / 3, 4.0 / 3, 1.0 / 3}
+	for i := range wantX {
+		if math.Abs(x[i]-wantX[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], wantX[i])
+		}
+		if math.Abs(w[i]-wantW[i]) > 1e-12 {
+			t.Errorf("w[%d] = %v, want %v", i, w[i], wantW[i])
+		}
+	}
+}
+
+func TestGLLWeightsIntegrateConstant(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		_, w := gll(n)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-2) > 1e-10 {
+			t.Errorf("n=%d: weights sum to %v, want 2", n, sum)
+		}
+	}
+}
+
+func TestGLLQuadratureExactness(t *testing.T) {
+	// n-point GLL is exact for polynomials up to degree 2n-3.
+	n := 6
+	x, w := gll(n)
+	for deg := 0; deg <= 2*n-3; deg++ {
+		got := 0.0
+		for i := range x {
+			got += w[i] * math.Pow(x[i], float64(deg))
+		}
+		want := 0.0
+		if deg%2 == 0 {
+			want = 2 / float64(deg+1)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("deg %d: integral = %v, want %v", deg, got, want)
+		}
+	}
+}
+
+func TestDiffMatrixExactOnPolynomials(t *testing.T) {
+	n := 6
+	x, _ := gll(n)
+	d := diffMatrix(x)
+	// Derivative of x^3 is 3x^2 — exact for the degree-5 basis.
+	for i := 0; i < n; i++ {
+		got := 0.0
+		for j := 0; j < n; j++ {
+			got += d[i*n+j] * math.Pow(x[j], 3)
+		}
+		want := 3 * x[i] * x[i]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("(D x^3)[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// Rows sum to zero: derivative of constants vanishes.
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += d[i*n+j]
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Errorf("row %d sums to %v, want 0", i, s)
+		}
+	}
+}
+
+func TestLaplacianOfConstantIsZero(t *testing.T) {
+	nk := &NekRS{Ex: 2, Ey: 2, Ez: 2, Order: 4}
+	n1 := nk.Order + 1
+	np := nk.Np()
+	x, w := gll(n1)
+	d := diffMatrix(x)
+	g := make([]float64, np)
+	for a := 0; a < n1; a++ {
+		for b := 0; b < n1; b++ {
+			for c := 0; c < n1; c++ {
+				g[(c*n1+b)*n1+a] = w[a] * w[b] * w[c]
+			}
+		}
+	}
+	u := make([]float64, np)
+	for i := range u {
+		u[i] = 7.5
+	}
+	w0 := make([]float64, np)
+	w1 := make([]float64, np)
+	w2 := make([]float64, np)
+	out := make([]float64, np)
+	nk.applyLaplacian(d, g, u, w0, w1, w2, out, n1)
+	for i, v := range out {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("Laplacian of constant at node %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestLaplacianSymmetric(t *testing.T) {
+	// The weak-form operator is symmetric: u'Av == v'Au.
+	nk := &NekRS{Order: 4}
+	n1 := nk.Order + 1
+	np := n1 * n1 * n1
+	x, w := gll(n1)
+	d := diffMatrix(x)
+	g := make([]float64, np)
+	for i := range g {
+		g[i] = w[i%n1] // arbitrary positive factors
+	}
+	u := make([]float64, np)
+	v := make([]float64, np)
+	for i := range u {
+		u[i] = math.Sin(float64(i))
+		v[i] = math.Cos(float64(3 * i))
+	}
+	w0 := make([]float64, np)
+	w1 := make([]float64, np)
+	w2 := make([]float64, np)
+	au := make([]float64, np)
+	av := make([]float64, np)
+	nk.applyLaplacian(d, g, u, w0, w1, w2, au, n1)
+	nk.applyLaplacian(d, g, v, w0, w1, w2, av, n1)
+	uAv, vAu := 0.0, 0.0
+	for i := range u {
+		uAv += u[i] * av[i]
+		vAu += v[i] * au[i]
+	}
+	if math.Abs(uAv-vAu) > 1e-8*math.Max(math.Abs(uAv), 1) {
+		t.Errorf("operator not symmetric: u'Av=%v v'Au=%v", uAv, vAu)
+	}
+}
+
+func TestRunDiffusionDecaysEnergy(t *testing.T) {
+	nk := &NekRS{Ex: 2, Ey: 2, Ez: 2, Order: 4, Steps: 5, Dt: 1e-4}
+	m := machine.New(machine.Default())
+	nk.Run(m)
+	// Initial energy of the sine product over the global grid.
+	if nk.Energy <= 0 {
+		t.Fatalf("energy = %v, want > 0", nk.Energy)
+	}
+	// Diffusion must not grow energy.
+	nk2 := &NekRS{Ex: 2, Ey: 2, Ez: 2, Order: 4, Steps: 20, Dt: 1e-4}
+	m2 := machine.New(machine.Default())
+	nk2.Run(m2)
+	if nk2.Energy > nk.Energy {
+		t.Errorf("energy grew with more diffusion steps: %v -> %v", nk.Energy, nk2.Energy)
+	}
+}
+
+func TestPhasesAndScale(t *testing.T) {
+	nk := New(1)
+	nk.Steps = 2
+	m := machine.New(machine.Default())
+	nk.Run(m)
+	ph := m.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %d, want 2", len(ph))
+	}
+	if len(ph[1].Ticks) != 2 {
+		t.Errorf("ticks = %d, want 2", len(ph[1].Ticks))
+	}
+	if ph[1].Flops <= 0 || ph[1].TotalBytes() == 0 {
+		t.Errorf("p2 has no work recorded: %+v", ph[1])
+	}
+	// 1:2:4 element scaling.
+	e1 := New(1).Ex * New(1).Ey * New(1).Ez
+	e2 := New(2).Ex * New(2).Ey * New(2).Ez
+	e4 := New(4).Ex * New(4).Ey * New(4).Ez
+	if e2 != 2*e1 || e4 != 4*e1 {
+		t.Errorf("element scaling %d:%d:%d, want 1:2:4", e1, e2, e4)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		nk := &NekRS{Ex: 2, Ey: 2, Ez: 2, Order: 3, Steps: 3, Dt: 1e-4}
+		m := machine.New(machine.Default())
+		nk.Run(m)
+		return nk.Energy
+	}
+	if run() != run() {
+		t.Errorf("non-deterministic energy")
+	}
+}

@@ -1,0 +1,108 @@
+// Package registry enumerates the six evaluated workloads of the paper's
+// Table 2 with their descriptions, parallelization models, and the three
+// scaled input problems, and constructs instances for the experiment
+// drivers.
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+	"repro/internal/workloads/bfs"
+	"repro/internal/workloads/hpl"
+	"repro/internal/workloads/hypre"
+	"repro/internal/workloads/nekrs"
+	"repro/internal/workloads/superlu"
+	"repro/internal/workloads/xsbench"
+)
+
+// Entry is one row of Table 2.
+type Entry struct {
+	// Name is the application name.
+	Name string
+	// Description matches the paper's one-line summary.
+	Description string
+	// Parallelization is the paper's parallelization column (informational
+	// on the emulated single-node platform).
+	Parallelization string
+	// Inputs describes the three 1:2:4 input problems.
+	Inputs [3]string
+	// Phases lists the phase names the workload emits.
+	Phases []string
+	// New constructs an instance at scale 1, 2 or 4.
+	New func(scale int) workloads.Workload
+}
+
+// All returns the workload table in the paper's order.
+func All() []Entry {
+	return []Entry{
+		{
+			Name:            "HPL",
+			Description:     "High Performance LINPACK: dense LU factorization with partial pivoting",
+			Parallelization: "MPI+OpenMP",
+			Inputs:          [3]string{"N=576", "N=816", "N=1152"},
+			Phases:          []string{"p1", "p2"},
+			New:             func(s int) workloads.Workload { return hpl.New(s) },
+		},
+		{
+			Name:            "Hypre",
+			Description:     "High-performance linear solvers (structured interface): 7-point PCG",
+			Parallelization: "MPI+OpenMP",
+			Inputs:          [3]string{"n=48^3", "n=60^3", "n=76^3"},
+			Phases:          []string{"p1", "p2"},
+			New:             func(s int) workloads.Workload { return hypre.New(s) },
+		},
+		{
+			Name:            "NekRS",
+			Description:     "Spectral-element CFD: matrix-free Laplacian time stepping",
+			Parallelization: "MPI",
+			Inputs:          [3]string{"E=512,p=5", "E=1024,p=5", "E=2048,p=5"},
+			Phases:          []string{"p1", "p2"},
+			New:             func(s int) workloads.Workload { return nekrs.New(s) },
+		},
+		{
+			Name:            "BFS",
+			Description:     "Ligra-style breadth-first search on symmetric rMAT graphs",
+			Parallelization: "OpenMP",
+			Inputs:          [3]string{"N=2^17,M=2^20", "N=2^18,M=2^21", "N=2^19,M=2^22"},
+			Phases:          []string{"p1", "p2"},
+			New:             func(s int) workloads.Workload { return bfs.New(s) },
+		},
+		{
+			Name:            "SuperLU",
+			Description:     "Sparse LU factorization (left-looking, partial pivoting)",
+			Parallelization: "MPI+OpenMP",
+			Inputs:          [3]string{"lattice 10^3", "lattice 12^3", "lattice 14^3"},
+			Phases:          []string{"p1", "p2", "p3"},
+			New:             func(s int) workloads.Workload { return superlu.New(s) },
+		},
+		{
+			Name:            "XSBench",
+			Description:     "Monte Carlo neutron transport proxy: macroscopic XS lookups",
+			Parallelization: "MPI+OpenMP",
+			Inputs:          [3]string{"G=1500/nuclide", "G=3000/nuclide", "G=6000/nuclide"},
+			Phases:          []string{"p1", "p2"},
+			New:             func(s int) workloads.Workload { return xsbench.New(s) },
+		},
+	}
+}
+
+// Get returns the entry with the given name.
+func Get(name string) (Entry, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("registry: unknown workload %q", name)
+}
+
+// Names returns the workload names in table order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name
+	}
+	return names
+}

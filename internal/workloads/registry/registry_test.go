@@ -1,0 +1,96 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestAllHasSixWorkloadsInPaperOrder(t *testing.T) {
+	want := []string{"HPL", "Hypre", "NekRS", "BFS", "SuperLU", "XSBench"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.Name != want[i] {
+			t.Errorf("entry %d = %s, want %s", i, e.Name, want[i])
+		}
+		if e.Description == "" || e.Parallelization == "" {
+			t.Errorf("%s: missing metadata", e.Name)
+		}
+		for _, in := range e.Inputs {
+			if in == "" {
+				t.Errorf("%s: empty input description", e.Name)
+			}
+		}
+		if len(e.Phases) < 2 {
+			t.Errorf("%s: every workload has at least init+compute phases", e.Name)
+		}
+		if e.New == nil {
+			t.Errorf("%s: nil constructor", e.Name)
+		}
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	e, err := Get("SuperLU")
+	if err != nil || e.Name != "SuperLU" {
+		t.Fatalf("Get(SuperLU) = %v, %v", e.Name, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	names := Names()
+	if len(names) != 6 || names[0] != "HPL" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+// TestEveryWorkloadEmitsDeclaredPhases runs each workload once and checks
+// the recorded phases match the registry's declaration.
+func TestEveryWorkloadEmitsDeclaredPhases(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			m := machine.New(machine.Default())
+			e.New(1).Run(m)
+			phases := m.Phases()
+			if len(phases) != len(e.Phases) {
+				t.Fatalf("recorded %d phases, registry declares %d", len(phases), len(e.Phases))
+			}
+			for i, ph := range phases {
+				if ph.Name != e.Phases[i] {
+					t.Errorf("phase %d = %s, want %s", i, ph.Name, e.Phases[i])
+				}
+				if ph.TotalBytes() == 0 {
+					t.Errorf("phase %s moved no memory", ph.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic runs each workload twice and requires
+// identical traffic statistics (all RNG is seeded).
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() []machine.PhaseStats {
+				m := machine.New(machine.Default())
+				e.New(1).Run(m)
+				return m.Phases()
+			}
+			a, b := run(), run()
+			for i := range a {
+				if a[i].TotalBytes() != b[i].TotalBytes() || a[i].Flops != b[i].Flops ||
+					a[i].Cache.LinesIn != b[i].Cache.LinesIn {
+					t.Fatalf("phase %s differs between runs: %+v vs %+v", a[i].Name, a[i], b[i])
+				}
+			}
+		})
+	}
+}

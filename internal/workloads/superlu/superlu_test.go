@@ -1,0 +1,159 @@
+package superlu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+func TestSolveResidualSmall(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		s := &SuperLU{N: n, seed: 7}
+		m := machine.New(machine.Default())
+		s.Run(m)
+		if s.RelResidual > 1e-9 {
+			t.Errorf("n=%d: residual = %g, want < 1e-9", n, s.RelResidual)
+		}
+	}
+}
+
+func TestAgainstDenseLU(t *testing.T) {
+	// Factor the 7-point matrix densely and compare the solution.
+	n := 4
+	rng := stats.NewRNG(7)
+	a := lattice7(n, rng)
+	order := a.n
+	dense := make([]float64, order*order)
+	for j := 0; j < order; j++ {
+		for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+			dense[int(a.rowIdx[p])*order+j] = a.values[p]
+		}
+	}
+	rng2 := stats.NewRNG(7)
+	_ = lattice7(n, rng2) // consume the same stream as Run does
+	b := make([]float64, order)
+	for i := range b {
+		b[i] = rng2.Float64() - 0.5
+	}
+	xDense := denseSolve(dense, append([]float64(nil), b...), order)
+
+	s := &SuperLU{N: n, seed: 7}
+	m := machine.New(machine.Default())
+	s.Run(m)
+	// Recover x by re-solving through the public Run result: the residual
+	// check inside Run already validates; here compare dense vs sparse by
+	// residual of dense solution instead.
+	r := make([]float64, order)
+	copy(r, b)
+	for j := 0; j < order; j++ {
+		for p := a.colPtr[j]; p < a.colPtr[j+1]; p++ {
+			r[a.rowIdx[p]] -= a.values[p] * xDense[j]
+		}
+	}
+	for i := range r {
+		if math.Abs(r[i]) > 1e-9 {
+			t.Fatalf("dense reference solve is wrong at %d: %v", i, r[i])
+		}
+	}
+	if s.RelResidual > 1e-9 {
+		t.Errorf("sparse residual %g disagrees with solvable system", s.RelResidual)
+	}
+}
+
+// denseSolve is a simple Gaussian elimination with partial pivoting.
+func denseSolve(a, b []float64, n int) []float64 {
+	for k := 0; k < n; k++ {
+		p := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(a[i*n+k]) > math.Abs(a[p*n+k]) {
+				p = i
+			}
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[k*n+j], a[p*n+j] = a[p*n+j], a[k*n+j]
+			}
+			b[k], b[p] = b[p], b[k]
+		}
+		for i := k + 1; i < n; i++ {
+			f := a[i*n+k] / a[k*n+k]
+			for j := k; j < n; j++ {
+				a[i*n+j] -= f * a[k*n+j]
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	return x
+}
+
+func TestFillInGrowth(t *testing.T) {
+	s := &SuperLU{N: 8, seed: 7}
+	m := machine.New(machine.Default())
+	s.Run(m)
+	if s.FillNNZ <= s.InputNNZ {
+		t.Errorf("fill nnz %d should exceed input nnz %d", s.FillNNZ, s.InputNNZ)
+	}
+	// Fill ratio grows with problem size (the Figure 6 CDF-shift driver).
+	s2 := &SuperLU{N: 12, seed: 7}
+	m2 := machine.New(machine.Default())
+	s2.Run(m2)
+	r1 := float64(s.FillNNZ) / float64(s.InputNNZ)
+	r2 := float64(s2.FillNNZ) / float64(s2.InputNNZ)
+	if r2 <= r1 {
+		t.Errorf("fill ratio should grow with scale: %v -> %v", r1, r2)
+	}
+}
+
+func TestThreePhases(t *testing.T) {
+	s := New(1)
+	m := machine.New(machine.Default())
+	s.Run(m)
+	ph := m.Phases()
+	if len(ph) != 3 {
+		t.Fatalf("phases = %d, want 3 (p1/p2/p3)", len(ph))
+	}
+	for i, want := range []string{"p1", "p2", "p3"} {
+		if ph[i].Name != want {
+			t.Errorf("phase %d = %q, want %q", i, ph[i].Name, want)
+		}
+	}
+	// Factorization dominates the flops.
+	if ph[1].Flops <= ph[2].Flops {
+		t.Errorf("factor flops %v should exceed solve flops %v", ph[1].Flops, ph[2].Flops)
+	}
+}
+
+func TestScaleNNZRatios(t *testing.T) {
+	nnz := func(scale int) float64 {
+		s := New(scale)
+		n := s.N
+		return float64(7*n*n*n - 6*n*n) // 7-pt lattice nnz
+	}
+	if r := nnz(4) / nnz(1); r < 2.3 || r > 4.5 {
+		t.Errorf("x4/x1 nnz ratio = %v, want in the paper's ~4x band", r)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (float64, int) {
+		s := &SuperLU{N: 6, seed: 9}
+		m := machine.New(machine.Default())
+		s.Run(m)
+		return s.RelResidual, s.FillNNZ
+	}
+	r1, f1 := run()
+	r2, f2 := run()
+	if r1 != r2 || f1 != f2 {
+		t.Errorf("non-deterministic factorization")
+	}
+}

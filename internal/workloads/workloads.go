@@ -1,0 +1,149 @@
+// Package workloads defines the framework the six evaluated HPC kernels run
+// in (Table 2 of the paper): a Workload drives an emulated machine through
+// named phases, issuing both real computation (so results can be verified)
+// and simulated memory accesses (so the profiler can observe traffic).
+//
+// Each application lives in its own subpackage; this package holds the
+// shared vector/array instrumentation helpers and the registry used by the
+// experiment drivers.
+package workloads
+
+import (
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Workload is one application instance at a fixed input scale.
+type Workload interface {
+	// Name is the short application name (e.g. "HPL").
+	Name() string
+	// Run executes all phases on the machine. Implementations call
+	// m.StartPhase/m.EndPhase around each phase and must be deterministic
+	// for a given construction.
+	Run(m *machine.Machine)
+}
+
+// Vec couples a real float64 slice with its simulated allocation so kernels
+// can do actual arithmetic while the machine observes the traffic.
+type Vec struct {
+	Data []float64
+	reg  *mem.Region
+	m    *machine.Machine
+}
+
+// NewVec allocates an n-element vector named name.
+func NewVec(m *machine.Machine, name string, n int) *Vec {
+	return &Vec{
+		Data: make([]float64, n),
+		reg:  m.Alloc(name, uint64(n)*8),
+		m:    m,
+	}
+}
+
+// NewVecPlaced allocates with an explicit placement policy.
+func NewVecPlaced(m *machine.Machine, name string, n int, pl mem.Placement) *Vec {
+	return &Vec{
+		Data: make([]float64, n),
+		reg:  m.AllocPlaced(name, uint64(n)*8, pl),
+		m:    m,
+	}
+}
+
+// Len returns the element count.
+func (v *Vec) Len() int { return len(v.Data) }
+
+// Region exposes the backing simulated region.
+func (v *Vec) Region() *mem.Region { return v.reg }
+
+// Addr returns the simulated address of element i.
+func (v *Vec) Addr(i int) uint64 { return v.reg.Base + uint64(i)*8 }
+
+// ReadRange simulates a sequential read of elements [i, i+n).
+func (v *Vec) ReadRange(i, n int) {
+	if n <= 0 {
+		return
+	}
+	v.m.Read(v.Addr(i), uint64(n)*8)
+}
+
+// WriteRange simulates a sequential write of elements [i, i+n).
+func (v *Vec) WriteRange(i, n int) {
+	if n <= 0 {
+		return
+	}
+	v.m.Write(v.Addr(i), uint64(n)*8)
+}
+
+// ReadAt simulates a single-element read (for indexed gathers) and returns
+// the value.
+func (v *Vec) ReadAt(i int) float64 {
+	v.m.Read(v.Addr(i), 8)
+	return v.Data[i]
+}
+
+// WriteAt simulates a single-element write (for scatters) and stores x.
+func (v *Vec) WriteAt(i int, x float64) {
+	v.m.Write(v.Addr(i), 8)
+	v.Data[i] = x
+}
+
+// Free releases the simulated allocation. The Go slice remains usable, but
+// further simulated accesses panic — matching a use-after-free.
+func (v *Vec) Free() { v.m.Free(v.reg) }
+
+// IntVec couples an int32 slice with a simulated allocation (indices,
+// offsets, graph structures).
+type IntVec struct {
+	Data []int32
+	reg  *mem.Region
+	m    *machine.Machine
+}
+
+// NewIntVec allocates an n-element int32 vector named name.
+func NewIntVec(m *machine.Machine, name string, n int) *IntVec {
+	return &IntVec{
+		Data: make([]int32, n),
+		reg:  m.Alloc(name, uint64(n)*4),
+		m:    m,
+	}
+}
+
+// Len returns the element count.
+func (v *IntVec) Len() int { return len(v.Data) }
+
+// Region exposes the backing simulated region.
+func (v *IntVec) Region() *mem.Region { return v.reg }
+
+// Addr returns the simulated address of element i.
+func (v *IntVec) Addr(i int) uint64 { return v.reg.Base + uint64(i)*4 }
+
+// ReadRange simulates a sequential read of elements [i, i+n).
+func (v *IntVec) ReadRange(i, n int) {
+	if n <= 0 {
+		return
+	}
+	v.m.Read(v.Addr(i), uint64(n)*4)
+}
+
+// WriteRange simulates a sequential write of elements [i, i+n).
+func (v *IntVec) WriteRange(i, n int) {
+	if n <= 0 {
+		return
+	}
+	v.m.Write(v.Addr(i), uint64(n)*4)
+}
+
+// ReadAt simulates a single-element read and returns the value.
+func (v *IntVec) ReadAt(i int) int32 {
+	v.m.Read(v.Addr(i), 4)
+	return v.Data[i]
+}
+
+// WriteAt simulates a single-element write and stores x.
+func (v *IntVec) WriteAt(i int, x int32) {
+	v.m.Write(v.Addr(i), 4)
+	v.Data[i] = x
+}
+
+// Free releases the simulated allocation.
+func (v *IntVec) Free() { v.m.Free(v.reg) }

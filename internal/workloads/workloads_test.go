@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func newMachine() *machine.Machine { return machine.New(machine.Default()) }
+
+func TestVecAllocatesAndAddresses(t *testing.T) {
+	m := newMachine()
+	v := NewVec(m, "v", 100)
+	if v.Len() != 100 || len(v.Data) != 100 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	if v.Addr(1)-v.Addr(0) != 8 {
+		t.Errorf("float64 stride should be 8 bytes")
+	}
+	if v.Region().Name != "v" || v.Region().Size != 800 {
+		t.Errorf("region mismatch: %+v", v.Region())
+	}
+}
+
+func TestVecReadWriteGenerateTraffic(t *testing.T) {
+	m := newMachine()
+	v := NewVec(m, "v", 1<<14)
+	m.StartPhase("p")
+	v.WriteRange(0, v.Len())
+	v.ReadRange(0, v.Len())
+	ph := m.EndPhase()
+	if ph.TotalBytes() == 0 {
+		t.Fatal("sequential scan should move memory")
+	}
+	if ph.Cache.DemandAccesses == 0 {
+		t.Fatal("accesses should hit the cache model")
+	}
+}
+
+func TestVecReadAtWriteAt(t *testing.T) {
+	m := newMachine()
+	v := NewVec(m, "v", 8)
+	v.WriteAt(3, 42.5)
+	if got := v.ReadAt(3); got != 42.5 {
+		t.Fatalf("ReadAt = %v, want 42.5", got)
+	}
+}
+
+func TestVecRangeNoopOnEmpty(t *testing.T) {
+	m := newMachine()
+	v := NewVec(m, "v", 8)
+	m.StartPhase("p")
+	v.ReadRange(0, 0)
+	v.WriteRange(3, -1)
+	ph := m.EndPhase()
+	if ph.Cache.DemandAccesses != 0 {
+		t.Fatalf("empty ranges should not touch the cache: %+v", ph.Cache)
+	}
+}
+
+func TestIntVecStrideAndTraffic(t *testing.T) {
+	m := newMachine()
+	v := NewIntVec(m, "iv", 64)
+	if v.Addr(1)-v.Addr(0) != 4 {
+		t.Errorf("int32 stride should be 4 bytes")
+	}
+	v.WriteAt(5, 7)
+	if got := v.ReadAt(5); got != 7 {
+		t.Fatalf("ReadAt = %d, want 7", got)
+	}
+	if v.Len() != 64 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+func TestVecPlacedRemote(t *testing.T) {
+	m := newMachine()
+	// Cap local so placement is observable.
+	cfg := machine.Default().WithLocalCapacity(1 << 20)
+	m = machine.New(cfg)
+	v := NewVecPlaced(m, "pool-array", 1<<15, mem.PlaceRemote)
+	m.StartPhase("p")
+	v.ReadRange(0, v.Len())
+	ph := m.EndPhase()
+	if ph.RemoteBytes == 0 {
+		t.Fatal("PlaceRemote array should generate remote traffic")
+	}
+	if ph.LocalBytes > ph.RemoteBytes/10 {
+		t.Fatalf("traffic should be (almost) all remote: local=%d remote=%d",
+			ph.LocalBytes, ph.RemoteBytes)
+	}
+}
+
+func TestVecFreeReleasesCapacity(t *testing.T) {
+	cfg := machine.Default().WithLocalCapacity(1 << 20)
+	m := machine.New(cfg)
+	a := NewVec(m, "a", (1<<20)/8) // fills local exactly
+	m.StartPhase("p1")
+	a.WriteRange(0, a.Len())
+	m.EndPhase()
+	a.Free()
+	// After the free, a new allocation must land local again (the §7.1
+	// free-the-scratch mechanism).
+	b := NewVec(m, "b", 1024)
+	m.StartPhase("p2")
+	b.WriteRange(0, b.Len())
+	ph := m.EndPhase()
+	if ph.RemoteBytes != 0 {
+		t.Fatalf("freed local capacity should be reused: remote=%d", ph.RemoteBytes)
+	}
+}

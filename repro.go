@@ -1,0 +1,265 @@
+// Package repro is the public API of memdis, a Go reproduction of
+// "A Quantitative Approach for Adopting Disaggregated Memory in HPC
+// Systems" (Wahlgren, Schieffer, Gokhale, Peng — SC 2023,
+// arXiv:2308.14780).
+//
+// The library provides:
+//
+//   - an emulated rack-scale memory-pooling platform (a compute node with a
+//     local memory tier, a pooled remote tier behind a contended link, an L2
+//     cache with a stream prefetcher, and a roofline-based timing model);
+//   - the paper's three-level profiling methodology: Level 1 (intrinsic
+//     characteristics), Level 2 (multi-tier access ratios against the R_cap
+//     and R_BW references), Level 3 (interference sensitivity and the
+//     interference coefficient);
+//   - LBench, the link-interference generator and probe;
+//   - six instrumented HPC workloads (HPL, Hypre, NekRS, BFS, SuperLU,
+//     XSBench) with three input scales each;
+//   - an interference-aware job scheduling simulator; and
+//   - experiment drivers that regenerate every table and figure of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	p := repro.NewProfiler(repro.DefaultPlatform())
+//	entry, _ := repro.Workload("XSBench")
+//	l1 := p.Level1(entry, 1)            // intrinsic characteristics
+//	l2 := p.Level2(entry, 1, 0.5)       // 50%-50% two-tier system
+//	l3 := p.Level3(entry, 1, 0.5,       // interference sensitivity
+//	    []float64{0, 0.25, 0.5})
+//
+// See the examples/ directory for complete programs.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lbench"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/placement"
+	"repro/internal/roofline"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+	"repro/internal/workloads/bfs"
+	"repro/internal/workloads/registry"
+)
+
+// Platform describes the emulated node: memory geometry, cache and
+// prefetcher, pool link, and the timing-model constants.
+type Platform = machine.Config
+
+// Machine is one emulated compute node executing a workload.
+type Machine = machine.Machine
+
+// PhaseStats is the per-phase measurement record all analyses derive from.
+type PhaseStats = machine.PhaseStats
+
+// DefaultPlatform returns the testbed-calibrated configuration: 73 GB/s /
+// 111 ns local tier, 34 GB/s / 202 ns pool link with 85 GB/s peak raw
+// traffic, 250 Gflop/s peak compute.
+func DefaultPlatform() Platform { return machine.Default() }
+
+// NewMachine builds a machine for direct workload execution.
+func NewMachine(p Platform) *Machine { return machine.New(p) }
+
+// Profiler runs the paper's three-level analysis on a platform.
+type Profiler = core.Profiler
+
+// NewProfiler returns a profiler for the given platform.
+func NewProfiler(p Platform) *Profiler { return core.NewProfiler(p) }
+
+// Level1Report, Level2Report and Level3Report are the three analysis levels.
+type (
+	Level1Report = core.Level1Report
+	Level2Report = core.Level2Report
+	Level3Report = core.Level3Report
+)
+
+// TuningVerdict classifies a phase's remote access ratio against the R_cap
+// and R_BW references.
+type TuningVerdict = core.TuningVerdict
+
+// Verdict values.
+const (
+	Balanced        = core.Balanced
+	ExcessRemote    = core.ExcessRemote
+	UnderusedRemote = core.UnderusedRemote
+)
+
+// WorkloadEntry describes one evaluated application (a row of Table 2).
+type WorkloadEntry = registry.Entry
+
+// Runnable is the workload interface: anything that drives a machine
+// through named phases.
+type Runnable = workloads.Workload
+
+// Workloads returns the six evaluated applications in the paper's order.
+func Workloads() []WorkloadEntry { return registry.All() }
+
+// Workload looks up an application by name (e.g. "BFS").
+func Workload(name string) (WorkloadEntry, error) { return registry.Get(name) }
+
+// Run executes a workload on a fresh machine and returns the machine with
+// its recorded phases.
+func Run(p Platform, w Runnable) *Machine { return core.Run(p, w) }
+
+// ScalingPoint is one point of the Figure 6 bandwidth-capacity scaling
+// curve: the hottest FootprintPct percent of pages carry AccessPct percent
+// of memory accesses.
+type ScalingPoint = core.ScalingPoint
+
+// Roofline is the (memory-)roofline analytical model.
+type Roofline = roofline.Model
+
+// LBenchModel is the calibrated interference generator/probe.
+type LBenchModel = lbench.Model
+
+// NewLBench calibrates LBench against a platform.
+func NewLBench(p Platform) LBenchModel { return lbench.NewModel(p) }
+
+// LBenchConfig configures a generator run (threads, flops per element).
+type LBenchConfig = lbench.Config
+
+// Placement is the allocation placement policy (first-touch, forced local,
+// forced remote).
+type Placement = mem.Placement
+
+// Placement values.
+const (
+	PlaceFirstTouch = mem.PlaceFirstTouch
+	PlaceLocal      = mem.PlaceLocal
+	PlaceRemote     = mem.PlaceRemote
+)
+
+// Job is one schedulable unit for the co-location simulator.
+type Job = sched.Job
+
+// SchedulePolicy selects queued jobs for freed nodes.
+type SchedulePolicy = sched.Policy
+
+// Scheduling policies.
+const (
+	FIFO              = sched.FIFO
+	InterferenceAware = sched.InterferenceAware
+)
+
+// RackConfig describes a rack of nodes sharing one memory pool.
+type RackConfig = sched.RackConfig
+
+// Schedule simulates a job queue on a rack under the given policy.
+func Schedule(rc RackConfig, queue []Job, pol SchedulePolicy) sched.ScheduleResult {
+	return sched.Schedule(rc, queue, pol)
+}
+
+// ScheduleResult is the outcome of one rack co-location simulation.
+type ScheduleResult = sched.ScheduleResult
+
+// ScheduleSummary compares the baseline and interference-aware schedulers
+// over repeated runs of one workload (the Figure 13 protocol).
+type ScheduleSummary = sched.Summary
+
+// CompareSchedulers runs the Figure 13 protocol: n runs of the profiled
+// phases under the baseline (LoI 0-50%) and interference-aware (LoI 0-20%)
+// interference processes.
+func CompareSchedulers(name string, p Platform, phases []PhaseStats, n int, seed uint64) ScheduleSummary {
+	return sched.Compare(name, p, phases, n, seed)
+}
+
+// BFSVariant selects the §7.1 case-study placement strategy for BFS.
+type BFSVariant = bfs.Variant
+
+// BFS placement variants: the unmodified code, the hot-array-first
+// reordering (fix 1), and reordering plus freeing the initialization
+// scratch (fix 2, the paper's one-line change).
+const (
+	BFSBaseline    = bfs.Baseline
+	BFSReorderOnly = bfs.ReorderOnly
+	BFSOptimized   = bfs.Optimized
+)
+
+// NewBFS constructs a BFS instance at input scale 1, 2 or 4 with the given
+// placement variant.
+func NewBFS(scale int, v BFSVariant) Runnable {
+	b := bfs.New(scale)
+	b.Variant = v
+	return b
+}
+
+// RegionStats summarizes placement and traffic for one named allocation —
+// the per-allocation-site view behind the §7.1 hot-object analysis.
+type RegionStats = mem.RegionStats
+
+// SortRegionsHot returns regions sorted by descending access count.
+func SortRegionsHot(regions []RegionStats) []RegionStats {
+	return core.SortRegionsHot(regions)
+}
+
+// PlacementObject is one candidate for the §5.2 static placement
+// optimizers: a profiled allocation site with size and access count.
+type PlacementObject = placement.Object
+
+// PlacementPlan assigns objects to tiers and predicts the resulting remote
+// access ratio.
+type PlacementPlan = placement.Plan
+
+// PlacementFromRegions converts a Level-2 per-region profile into placement
+// candidates.
+func PlacementFromRegions(regions []RegionStats) []PlacementObject {
+	return placement.FromRegions(regions)
+}
+
+// GreedyPlacement packs objects into the local tier hottest-density-first —
+// the generalized §7.1 allocate-hottest-first recipe.
+func GreedyPlacement(objects []PlacementObject, localCapacity uint64) PlacementPlan {
+	return placement.Greedy(objects, localCapacity)
+}
+
+// ExactPlacement solves the placement as a 0/1 knapsack at page granularity
+// (the NP-complete formulation §5.2 names, tractable at profile scale).
+func ExactPlacement(objects []PlacementObject, localCapacity, pageSize uint64) PlacementPlan {
+	return placement.Exact(objects, localCapacity, pageSize)
+}
+
+// InterleavePattern is the N:M tiered-page interleave of the kernel patch
+// the paper cites; BandwidthInterleave picks the pattern matching the tier
+// bandwidth ratio.
+type InterleavePattern = placement.InterleavePattern
+
+// BandwidthInterleave returns the N:M pattern proportional to the tier
+// bandwidths.
+func BandwidthInterleave(localBW, remoteBW float64, maxTerm int) InterleavePattern {
+	return placement.BandwidthInterleave(localBW, remoteBW, maxTerm)
+}
+
+// RecordTrace executes the workload on a machine built from p while
+// streaming its operation trace to w. The trace can later be replayed onto
+// machines with different memory configurations — the profile-once /
+// analyze-everywhere workflow.
+func RecordTrace(p Platform, wl Runnable, w io.Writer) (*Machine, error) {
+	m := NewMachine(p)
+	err := trace.Record(m, wl.Run, w)
+	return m, err
+}
+
+// ReplayTrace applies a recorded operation trace to a fresh machine built
+// from p and returns it with the replayed phases.
+func ReplayTrace(p Platform, r io.Reader) (*Machine, error) {
+	m := NewMachine(p)
+	if err := trace.Replay(m, r); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ExperimentSuite regenerates the paper's tables and figures.
+type ExperimentSuite = experiments.Suite
+
+// NewExperiments returns the experiment suite on the given platform.
+func NewExperiments(p Platform) *ExperimentSuite { return experiments.NewSuite(p) }
+
+// ExperimentIDs lists every table/figure id in paper order.
+func ExperimentIDs() []string { return append([]string(nil), experiments.IDs...) }
