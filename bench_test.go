@@ -4,16 +4,25 @@
 // -bench=.` reproduces every row and series the paper reports.
 //
 // The suite is shared across iterations of a single benchmark (the
-// profiler's peak-footprint cache mirrors the paper's profile-once
-// workflow), but each benchmark function constructs its own suite so
-// figures can be benchmarked in isolation.
+// profiler's profile caches mirror the paper's profile-once workflow), but
+// each benchmark function constructs its own suite so figures can be
+// benchmarked in isolation.
+//
+// Pass -args -j N to fan each driver out over N workers (0 = all cores),
+// e.g. `go test -bench Figure13 -args -j 8`; rendered artifacts are
+// byte-identical for any worker count.
 package repro
 
 import (
+	"flag"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/pool"
 )
+
+// benchWorkers is the bench-harness counterpart of `memdis -j`.
+var benchWorkers = flag.Int("j", 1, "worker-pool width for experiment drivers (0 = all cores)")
 
 // benchExperiment runs one experiment driver per iteration and sanity-checks
 // that it rendered a non-empty artifact.
@@ -21,6 +30,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	s := experiments.Default()
 	s.Runs = 100 // the paper's Figure 13 protocol
+	s.Workers = pool.Workers(*benchWorkers)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

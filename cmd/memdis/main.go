@@ -2,15 +2,25 @@
 // platform. Usage:
 //
 //	memdis all            # every experiment in paper order
+//	memdis -j 8 all       # same, fanned out over 8 workers
+//	memdis -j 0 all       # use every core
 //	memdis figure9        # one experiment (figureN or tableN)
 //	memdis list           # list experiment ids
+//
+// The -j flag bounds the worker pool for both the experiment-level and the
+// intra-driver fan-out. Output is byte-identical for any -j value: every
+// randomized simulation owns a deterministic RNG substream keyed by its run
+// index, never by worker or completion order.
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/pool"
 )
 
 func main() {
@@ -21,10 +31,20 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := flag.NewFlagSet("memdis", flag.ContinueOnError)
+	workers := fs.Int("j", 1, "parallel workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: memdis <all|list|%s|...>", experiments.IDs[0])
+		return fmt.Errorf("usage: memdis [-j N] <all|list|%s|...>", experiments.IDs[0])
 	}
 	s := experiments.Default()
+	s.Workers = pool.Workers(*workers)
 	switch args[0] {
 	case "list":
 		for _, id := range experiments.IDs {
@@ -32,7 +52,13 @@ func run(args []string) error {
 		}
 		return nil
 	case "all":
-		for _, r := range s.All() {
+		if len(args) > 1 {
+			// Catch `memdis all -j 4`: flag parsing stops at the first
+			// non-flag argument, so a trailing -j would be silently
+			// ignored instead of changing the worker count.
+			return fmt.Errorf("unexpected arguments after \"all\": %v (flags go before the subcommand: memdis -j N all)", args[1:])
+		}
+		for _, r := range s.AllParallel(s.Workers) {
 			fmt.Printf("==== %s ====\n%s\n", r.ID(), r.Render())
 		}
 		return nil

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro"
+)
+
+// ExampleNewProfiler runs the paper's Level-2 analysis on a 50%-50%
+// two-tier system and classifies each phase's remote access ratio against
+// the R_cap and R_BW tuning references.
+func ExampleNewProfiler() {
+	profiler := repro.NewProfiler(repro.DefaultPlatform())
+	entry, err := repro.Workload("XSBench")
+	if err != nil {
+		panic(err)
+	}
+	l2 := profiler.Level2(entry, 1, 0.5)
+	fmt.Printf("references: R_cap=%.0f%% R_BW=%.0f%%\n", l2.RCap*100, l2.RBW*100)
+	for _, ph := range l2.Phases {
+		fmt.Printf("phase %s: %s\n", ph.Name, l2.Verdict(ph))
+	}
+	// Output:
+	// references: R_cap=50% R_BW=32%
+	// phase p1: balanced
+	// phase p2: underused-remote
+}
+
+// ExampleSchedule simulates a four-job queue on a two-node rack that
+// shares one memory pool, under the interference-aware placement policy:
+// the loud pool-heavy jobs are interleaved with quiet mostly-local ones
+// instead of being co-located.
+func ExampleSchedule() {
+	phases := func(remoteFrac float64) []repro.PhaseStats {
+		total := uint64(4 << 30)
+		remote := uint64(float64(total) * remoteFrac)
+		return []repro.PhaseStats{{
+			Name:             "p2",
+			Flops:            1e8,
+			LocalBytes:       total - remote,
+			RemoteBytes:      remote,
+			DemandMissLocal:  (total - remote) / 64 / 4,
+			DemandMissRemote: remote / 64 / 4,
+		}}
+	}
+	queue := []repro.Job{
+		{Name: "loud-1", Phases: phases(0.9), IC: 1.6, Sensitivity: 0.15},
+		{Name: "loud-2", Phases: phases(0.9), IC: 1.6, Sensitivity: 0.15},
+		{Name: "quiet-1", Phases: phases(0.1), IC: 1.05, Sensitivity: 0.05},
+		{Name: "quiet-2", Phases: phases(0.1), IC: 1.05, Sensitivity: 0.05},
+	}
+	rack := repro.RackConfig{Nodes: 2, Machine: repro.DefaultPlatform()}
+	res := repro.Schedule(rack, queue, repro.InterferenceAware)
+	for _, j := range res.Jobs {
+		fmt.Printf("%s started at %.2fs\n", j.Name, j.Start)
+	}
+	// Output:
+	// quiet-1 started at 0.00s
+	// loud-1 started at 0.00s
+	// quiet-2 started at 0.13s
+	// loud-2 started at 0.24s
+}
+
+// ExampleRecordTrace shows the profile-once / analyze-everywhere workflow:
+// a workload execution is recorded once, then the operation trace is
+// replayed onto a platform with a quarter of the local capacity — no
+// re-run of the application — to see the remote access ratio grow.
+func ExampleRecordTrace() {
+	platform := repro.DefaultPlatform()
+	entry, err := repro.Workload("XSBench")
+	if err != nil {
+		panic(err)
+	}
+
+	var buf bytes.Buffer
+	recorded, err := repro.RecordTrace(platform, entry.New(1), &buf)
+	if err != nil {
+		panic(err)
+	}
+
+	pooled := platform.WithLocalCapacity(recorded.PeakFootprint() / 4)
+	replayed, err := repro.ReplayTrace(pooled, &buf)
+	if err != nil {
+		panic(err)
+	}
+
+	ratio := func(m *repro.Machine) float64 {
+		var remote, total uint64
+		for _, ph := range m.Phases() {
+			remote += ph.RemoteBytes
+			total += ph.TotalBytes()
+		}
+		return float64(remote) / float64(total)
+	}
+	fmt.Printf("remote access: recorded %.0f%%, replayed at 25%% local %.0f%%\n",
+		ratio(recorded)*100, ratio(replayed)*100)
+	// Output:
+	// remote access: recorded 0%, replayed at 25% local 13%
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/textplot"
 	"repro/internal/units"
@@ -56,29 +57,32 @@ func bfsEntry(v bfs.Variant) registry.Entry {
 // is measured on the identical machine rather than a machine resized to its
 // own (smaller) footprint.
 func (s *Suite) Figure12() Figure12Result {
-	res := Figure12Result{LoIs: LoILevels}
 	baseline := bfsEntry(bfs.Baseline)
-	for _, pooled := range []float64{0.50, 0.75} {
+	pooleds := []float64{0.50, 0.75}
+	variants := []bfs.Variant{bfs.Baseline, bfs.ReorderOnly, bfs.Optimized}
+	cells := pool.Map(s.lim(), len(pooleds)*len(variants), func(i int) Figure12Cell {
+		pooled, v := pooleds[i/len(variants)], variants[i%len(variants)]
+		// The PeakUsage probe inside ConfigForLocalFraction is single-flight
+		// cached on ("BFS-baseline", scale), so all six cells share one
+		// baseline footprint execution.
 		cfg := s.Profiler.ConfigForLocalFraction(baseline, 1, 1-pooled)
-		for _, v := range []bfs.Variant{bfs.Baseline, bfs.ReorderOnly, bfs.Optimized} {
-			m := runOn(cfg, bfsEntry(v), 1)
-			cell := Figure12Cell{PooledFraction: pooled, Variant: v}
-			var remote uint64
-			for _, ph := range m.Phases() {
-				remote += ph.RemoteBytes
-			}
-			cell.Runtime = cfg.RunTime(m.Phases(), 0)
-			cell.RemoteBytes = remote
-			if p2, ok := m.Phase("p2"); ok && p2.TotalBytes() > 0 {
-				cell.RemoteAccessRatio = float64(p2.RemoteBytes) / float64(p2.TotalBytes())
-			}
-			for _, loi := range LoILevels {
-				cell.Sensitivity = append(cell.Sensitivity, cfg.Sensitivity(m.Phases(), loi))
-			}
-			res.Cells = append(res.Cells, cell)
+		m := runOn(cfg, bfsEntry(v), 1)
+		cell := Figure12Cell{PooledFraction: pooled, Variant: v}
+		var remote uint64
+		for _, ph := range m.Phases() {
+			remote += ph.RemoteBytes
 		}
-	}
-	return res
+		cell.Runtime = cfg.RunTime(m.Phases(), 0)
+		cell.RemoteBytes = remote
+		if p2, ok := m.Phase("p2"); ok && p2.TotalBytes() > 0 {
+			cell.RemoteAccessRatio = float64(p2.RemoteBytes) / float64(p2.TotalBytes())
+		}
+		for _, loi := range LoILevels {
+			cell.Sensitivity = append(cell.Sensitivity, cfg.Sensitivity(m.Phases(), loi))
+		}
+		return cell
+	})
+	return Figure12Result{LoIs: LoILevels, Cells: cells}
 }
 
 // ID implements Result.
@@ -128,15 +132,19 @@ type Figure13Result struct {
 
 // Figure13 runs every workload (at 50% pooling) s.Runs times under the
 // baseline (LoI 0-50%) and interference-aware (LoI 0-20%) schedulers.
+// Workloads and the Monte-Carlo runs inside each comparison draw from the
+// same shared worker budget; every simulated run owns the RNG substream of
+// its run index, so the summaries are byte-identical at any worker count.
 func (s *Suite) Figure13() Figure13Result {
-	var res Figure13Result
-	for i, e := range s.Entries {
-		rep := s.Profiler.Level2(e, 1, 0.50)
-		cfg := s.Profiler.ConfigForLocalFraction(e, 1, 0.50)
-		res.Summaries = append(res.Summaries,
-			sched.Compare(e.Name, cfg, rep.Phase2Stats, s.Runs, 1000+uint64(i)*17))
+	l := s.lim()
+	return Figure13Result{
+		Summaries: pool.Map(l, len(s.Entries), func(i int) sched.Summary {
+			e := s.Entries[i]
+			rep := s.Profiler.Level2(e, 1, 0.50)
+			cfg := s.Profiler.ConfigForLocalFraction(e, 1, 0.50)
+			return sched.CompareLimited(e.Name, cfg, rep.Phase2Stats, s.Runs, 1000+uint64(i)*17, l)
+		}),
 	}
-	return res
 }
 
 // ID implements Result.

@@ -4,9 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/roofline"
 	"repro/internal/textplot"
 	"repro/internal/units"
+	"repro/internal/workloads/registry"
 )
 
 // Figure5Point is one per-phase roofline point.
@@ -27,9 +29,11 @@ type Figure5Result struct {
 // places each phase on the platform roofline.
 func (s *Suite) Figure5() Figure5Result {
 	res := Figure5Result{Model: s.Profiler.RooflineModel()}
-	for _, e := range s.Entries {
-		rep := s.Profiler.Level1(e, 1)
-		for _, ph := range rep.Phases {
+	reps := pool.Map(s.lim(), len(s.Entries), func(i int) core.Level1Report {
+		return s.Profiler.Level1(s.Entries[i], 1)
+	})
+	for i, e := range s.Entries {
+		for _, ph := range reps[i].Phases {
 			if ph.Stats.Flops == 0 {
 				// Integer-only phases (BFS) have no roofline placement;
 				// the paper's Figure 5 omits them as well.
@@ -102,17 +106,17 @@ type Figure6Result struct {
 // Figure6 builds the cumulative access-vs-footprint distribution for every
 // workload at input scales 1, 2, 4.
 func (s *Suite) Figure6() Figure6Result {
-	var res Figure6Result
-	for _, e := range s.Entries {
-		for _, scale := range []int{1, 2, 4} {
-			res.Curves = append(res.Curves, Figure6Curve{
+	scales := []int{1, 2, 4}
+	return Figure6Result{
+		Curves: pool.Map(s.lim(), len(s.Entries)*len(scales), func(i int) Figure6Curve {
+			e, scale := s.Entries[i/len(scales)], scales[i%len(scales)]
+			return Figure6Curve{
 				Workload: e.Name,
 				Scale:    scale,
 				Points:   s.Profiler.ScalingCurve(e, scale),
-			})
-		}
+			}
+		}),
 	}
-	return res
 }
 
 // ID implements Result.
@@ -175,22 +179,25 @@ var Figure7Workloads = []string{"NekRS", "HPL", "XSBench"}
 // Figure7 records compute-phase traffic timelines with the prefetcher
 // enabled and disabled.
 func (s *Suite) Figure7() Figure7Result {
-	var res Figure7Result
+	var picked []registry.Entry
 	for _, e := range s.Entries {
-		if !contains(Figure7Workloads, e.Name) {
-			continue
+		if contains(Figure7Workloads, e.Name) {
+			picked = append(picked, e)
 		}
-		rep := s.Profiler.Level1(e, 1)
-		tl := Figure7Timeline{Workload: e.Name}
-		for _, t := range rep.TimelineOn {
-			tl.On = append(tl.On, float64(t.LinesIn))
-		}
-		for _, t := range rep.TimelineOff {
-			tl.Off = append(tl.Off, float64(t.LinesIn))
-		}
-		res.Timelines = append(res.Timelines, tl)
 	}
-	return res
+	return Figure7Result{
+		Timelines: pool.Map(s.lim(), len(picked), func(i int) Figure7Timeline {
+			rep := s.Profiler.Level1(picked[i], 1)
+			tl := Figure7Timeline{Workload: picked[i].Name}
+			for _, t := range rep.TimelineOn {
+				tl.On = append(tl.On, float64(t.LinesIn))
+			}
+			for _, t := range rep.TimelineOff {
+				tl.Off = append(tl.Off, float64(t.LinesIn))
+			}
+			return tl
+		}),
+	}
 }
 
 // ID implements Result.
@@ -232,18 +239,18 @@ type Figure8Result struct {
 // Figure8 measures prefetch accuracy, coverage, excess traffic and
 // performance gain for every workload.
 func (s *Suite) Figure8() Figure8Result {
-	var res Figure8Result
-	for _, e := range s.Entries {
-		rep := s.Profiler.Level1(e, 1)
-		res.Rows = append(res.Rows, Figure8Row{
-			Workload:        e.Name,
-			Accuracy:        rep.Accuracy,
-			Coverage:        rep.Coverage,
-			ExcessTraffic:   rep.ExcessTraffic,
-			PerformanceGain: rep.PerformanceGain,
-		})
+	return Figure8Result{
+		Rows: pool.Map(s.lim(), len(s.Entries), func(i int) Figure8Row {
+			rep := s.Profiler.Level1(s.Entries[i], 1)
+			return Figure8Row{
+				Workload:        s.Entries[i].Name,
+				Accuracy:        rep.Accuracy,
+				Coverage:        rep.Coverage,
+				ExcessTraffic:   rep.ExcessTraffic,
+				PerformanceGain: rep.PerformanceGain,
+			}
+		}),
 	}
-	return res
 }
 
 // ID implements Result.

@@ -4,9 +4,16 @@
 // and the root benchmark harness both call these drivers, so the printed
 // artifacts and the benchmarked work are identical.
 //
-// A Suite shares one profiler (and therefore its peak-footprint cache)
-// across drivers so that composite invocations such as `memdis all` probe
-// each workload input only once.
+// A Suite shares one profiler (and therefore its single-flight profile
+// caches) across drivers so that composite invocations such as `memdis all`
+// probe each workload input only once.
+//
+// The suite is a concurrent experiment engine: AllParallel fans the drivers
+// out over a bounded worker pool, and each driver additionally fans out
+// internally over its workloads, input scales, and capacity points when
+// Suite.Workers is above one. Every randomized sweep hands each simulated
+// run its own RNG substream, so parallel output is byte-identical to the
+// sequential output at any worker count.
 package experiments
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/workloads/registry"
 )
 
@@ -22,13 +30,21 @@ import (
 type Suite struct {
 	// Cfg is the emulated platform.
 	Cfg machine.Config
-	// Profiler is shared across drivers (peak-usage cache).
+	// Profiler is shared across drivers (single-flight profile caches).
 	Profiler *core.Profiler
 	// Entries is the workload table (registry.All by default).
 	Entries []registry.Entry
 	// Runs is the number of scheduler runs per configuration in Figure 13
 	// (100 in the paper; tests may lower it).
 	Runs int
+	// Workers bounds the intra-driver fan-out over workloads, scales,
+	// capacity points and Monte-Carlo runs. Values <= 1 mean sequential.
+	// Results do not depend on it. Do not change it while drivers run.
+	Workers int
+	// limiter, when set (AllParallel installs one for the duration of a
+	// sweep), is the single concurrency budget every fan-out level draws
+	// from, so nesting never multiplies the worker count.
+	limiter *pool.Limiter
 }
 
 // NewSuite returns a suite on the given platform with the paper's defaults.
@@ -39,6 +55,25 @@ func NewSuite(cfg machine.Config) *Suite {
 		Entries:  registry.All(),
 		Runs:     100,
 	}
+}
+
+// workers returns the effective intra-driver fan-out width.
+func (s *Suite) workers() int {
+	if s.Workers < 1 {
+		return 1
+	}
+	return s.Workers
+}
+
+// lim returns the suite's shared concurrency limiter when one is installed
+// (during AllParallel), or a fresh limiter of the configured width for a
+// stand-alone driver call. Drivers fetch it once and pass it to every
+// fan-out they perform, including nested Monte-Carlo sweeps.
+func (s *Suite) lim() *pool.Limiter {
+	if s.limiter != nil {
+		return s.limiter
+	}
+	return pool.NewLimiter(s.workers())
 }
 
 // Default returns a suite on the default testbed-calibrated platform.
@@ -108,4 +143,36 @@ func (s *Suite) All() []Result {
 		out = append(out, r)
 	}
 	return out
+}
+
+// AllParallel runs every experiment concurrently and returns the results
+// in paper order. One limiter of width workers is shared by the
+// experiment-level fan-out, every driver's internal fan-out, and the
+// Monte-Carlo sweeps inside them, so at most workers tasks ever run at
+// once; the shared profiler coalesces concurrent requests for the same
+// profile into one execution. The rendered results are byte-identical to
+// All() for any worker count.
+//
+// AllParallel installs the shared limiter in the suite for the duration of
+// the call, so a Suite supports one sweep at a time: do not call
+// AllParallel or individual drivers concurrently from multiple goroutines
+// on the same Suite (the engine parallelizes internally; outer concurrency
+// would race on the limiter field).
+func (s *Suite) AllParallel(workers int) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	// While the limiter is installed every fan-out draws from it, so
+	// Suite.Workers is deliberately left alone — it only matters for
+	// stand-alone driver calls.
+	prev := s.limiter
+	s.limiter = pool.NewLimiter(workers)
+	defer func() { s.limiter = prev }()
+	return pool.Map(s.limiter, len(IDs), func(i int) Result {
+		r, err := s.Run(IDs[i])
+		if err != nil {
+			panic(err) // unreachable: IDs only contains known ids
+		}
+		return r
+	})
 }

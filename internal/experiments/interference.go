@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/lbench"
 	"repro/internal/link"
+	"repro/internal/pool"
 	"repro/internal/textplot"
 )
 
@@ -31,17 +32,17 @@ type Figure10Result struct {
 // Figure10 quantifies every workload's sensitivity to pool interference at
 // LoI 0-50% on the three capacity configurations.
 func (s *Suite) Figure10() Figure10Result {
+	rows := pool.Map(s.lim(), len(CapacityFractions)*len(s.Entries), func(i int) Figure10Row {
+		e := s.Entries[i%len(s.Entries)]
+		rep := s.Profiler.Level3(e, 1, CapacityFractions[i/len(s.Entries)], LoILevels)
+		return Figure10Row{Workload: e.Name, Relative: rep.Relative}
+	})
 	res := Figure10Result{LoIs: LoILevels}
-	for _, frac := range CapacityFractions {
-		panel := Figure10Config{LocalFraction: frac}
-		for _, e := range s.Entries {
-			rep := s.Profiler.Level3(e, 1, frac, LoILevels)
-			panel.Rows = append(panel.Rows, Figure10Row{
-				Workload: e.Name,
-				Relative: rep.Relative,
-			})
-		}
-		res.Configs = append(res.Configs, panel)
+	for fi, frac := range CapacityFractions {
+		res.Configs = append(res.Configs, Figure10Config{
+			LocalFraction: frac,
+			Rows:          rows[fi*len(s.Entries) : (fi+1)*len(s.Entries)],
+		})
 	}
 	return res
 }
@@ -124,14 +125,18 @@ func (s *Suite) Figure11() Figure11Result {
 	}
 
 	// Right: per-application IC on the 50% pooling setup.
-	for _, e := range s.Entries {
+	ics := pool.Map(s.lim(), len(s.Entries), func(i int) [3]float64 {
+		e := s.Entries[i]
 		rep := s.Profiler.Level2(e, 1, 0.50)
 		cfg := s.Profiler.ConfigForLocalFraction(e, 1, 0.50)
 		mean, lo, hi := md.ICOfWorkload(cfg, rep.Phase2Stats)
+		return [3]float64{mean, lo, hi}
+	})
+	for i, e := range s.Entries {
 		res.Apps = append(res.Apps, e.Name)
-		res.AppIC = append(res.AppIC, mean)
-		res.AppICLo = append(res.AppICLo, lo)
-		res.AppICHi = append(res.AppICHi, hi)
+		res.AppIC = append(res.AppIC, ics[i][0])
+		res.AppICLo = append(res.AppICLo, ics[i][1])
+		res.AppICHi = append(res.AppICHi, ics[i][2])
 	}
 	return res
 }

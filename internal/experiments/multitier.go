@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/textplot"
 	"repro/internal/units"
 )
@@ -33,11 +34,17 @@ type Figure9Result struct {
 // Figure9 measures the per-phase remote access ratios on the three
 // capacity configurations (75/25, 50/50, 25/75).
 func (s *Suite) Figure9() Figure9Result {
+	// Fan out over the full (capacity point, workload) grid; assembly into
+	// panels below follows the flattened index order, so the result is
+	// identical to the sequential nested loops.
+	reps := pool.Map(s.lim(), len(CapacityFractions)*len(s.Entries), func(i int) core.Level2Report {
+		return s.Profiler.Level2(s.Entries[i%len(s.Entries)], 1, CapacityFractions[i/len(s.Entries)])
+	})
 	var res Figure9Result
-	for _, frac := range CapacityFractions {
+	for fi, frac := range CapacityFractions {
 		panel := Figure9Config{LocalFraction: frac}
-		for _, e := range s.Entries {
-			rep := s.Profiler.Level2(e, 1, frac)
+		for ei, e := range s.Entries {
+			rep := reps[fi*len(s.Entries)+ei]
 			panel.RCap, panel.RBW = rep.RCap, rep.RBW
 			for _, ph := range rep.Phases {
 				panel.Phases = append(panel.Phases, Figure9Phase{

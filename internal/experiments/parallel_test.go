@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/workloads/registry"
+)
+
+// smallSuite returns a fresh suite trimmed for determinism testing: three
+// workloads spanning the interesting regimes (streaming, graph, skewed
+// lookup) and a reduced Monte-Carlo run count. Entries and Runs only scale
+// the work down — the engine code paths are identical to the full suite.
+func smallSuite() *Suite {
+	s := NewSuite(machine.Default())
+	all := registry.All()
+	var picked []registry.Entry
+	for _, e := range all {
+		switch e.Name {
+		case "Hypre", "BFS", "XSBench":
+			picked = append(picked, e)
+		}
+	}
+	s.Entries = picked
+	s.Runs = 10
+	return s
+}
+
+// TestAllParallelByteIdenticalToSequential is the engine's core guarantee:
+// a parallel sweep renders exactly the bytes the sequential sweep renders,
+// for any worker count. Two independent suites are used so the parallel run
+// cannot lean on profiles the sequential run already cached; a third pass
+// at a different worker count on the warm parallel suite then checks that
+// neither worker count nor cache reuse changes the rendered output.
+func TestAllParallelByteIdenticalToSequential(t *testing.T) {
+	seq := smallSuite().All()
+	parSuite := smallSuite()
+	par := parSuite.AllParallel(8)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID() != par[i].ID() {
+			t.Fatalf("order differs at %d: %s vs %s", i, seq[i].ID(), par[i].ID())
+		}
+		a, b := seq[i].Render(), par[i].Render()
+		if a != b {
+			t.Errorf("%s: parallel render differs from sequential (%d vs %d bytes)",
+				seq[i].ID(), len(a), len(b))
+		}
+	}
+	if parSuite.limiter != nil {
+		t.Error("AllParallel should uninstall the shared limiter when done")
+	}
+	two := parSuite.AllParallel(2)
+	for i := range two {
+		if two[i].Render() != par[i].Render() {
+			t.Errorf("%s: workers=2 and workers=8 disagree", two[i].ID())
+		}
+	}
+}

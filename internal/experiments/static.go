@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/pool"
 	"repro/internal/textplot"
 	"repro/internal/top500"
 	"repro/internal/workloads/registry"
@@ -107,13 +108,13 @@ type Table2Result struct {
 
 // Table2 lists the workloads and measures their scaled footprints.
 func (s *Suite) Table2() Table2Result {
+	scales := []int{1, 2, 4}
+	flat := pool.Map(s.lim(), len(s.Entries)*len(scales), func(i int) uint64 {
+		return s.Profiler.PeakUsage(s.Entries[i/len(scales)], scales[i%len(scales)])
+	})
 	res := Table2Result{Entries: s.Entries}
-	for _, e := range s.Entries {
-		var fp [3]uint64
-		for j, scale := range []int{1, 2, 4} {
-			fp[j] = s.Profiler.PeakUsage(e, scale)
-		}
-		res.Footprints = append(res.Footprints, fp)
+	for i := range s.Entries {
+		res.Footprints = append(res.Footprints, [3]uint64{flat[i*3], flat[i*3+1], flat[i*3+2]})
 	}
 	return res
 }

@@ -1,0 +1,111 @@
+// Package pool provides the bounded worker pool behind every parallel
+// fan-out in the repository: the experiment suite's driver-level and
+// workload-level parallelism, and the scheduler's Monte-Carlo run sweeps.
+//
+// The pool is deliberately minimal: tasks are identified by index, results
+// are written into index-addressed slots, and a task never learns which
+// worker ran it. A single Limiter is shared across every nesting level, so
+// the configured width bounds total running tasks rather than multiplying
+// per fan-out. Combined with the splittable RNG substreams of
+// internal/stats (one substream per task index), this guarantees that a
+// parallel sweep produces byte-identical results for any worker count,
+// including the sequential workers=1 case — reproducibility is a property
+// of the decomposition, not of the schedule.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values below 1 select
+// runtime.GOMAXPROCS(0), everything else passes through. CLIs use it to
+// implement "-j 0 = all cores".
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Limiter is a shared concurrency budget. Nested fan-outs (drivers inside
+// a suite, Monte-Carlo runs inside a driver) acquire from the same limiter,
+// so the total number of concurrently running tasks stays at the configured
+// width no matter how deeply ForEach calls nest — a fan-out that finds the
+// budget exhausted simply runs its tasks inline on the goroutine it already
+// owns instead of spawning more.
+//
+// A nil *Limiter is valid and means "sequential".
+type Limiter struct {
+	// sem holds width-1 tokens: every ForEach caller contributes its own
+	// goroutine, so the running-task total is tokens + 1.
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter admitting at most width concurrently
+// running tasks. width <= 1 yields a sequential limiter.
+func NewLimiter(width int) *Limiter {
+	l := &Limiter{}
+	if width > 1 {
+		l.sem = make(chan struct{}, width-1)
+	}
+	return l
+}
+
+// ForEach runs fn(i) for every i in [0, n) within the limiter's budget and
+// returns when all calls have completed. The caller claims indices from a
+// shared counter and, per index, either hands it to a freshly spawned
+// worker (token available — the worker then keeps draining the counter on
+// its own, so a slow inline task on the caller never stalls dispatch) or
+// runs it inline (budget exhausted). ForEach therefore never blocks
+// waiting for capacity and never deadlocks under nesting. fn must be safe
+// to call concurrently; fn(i) must write only to state owned by index i.
+func (l *Limiter) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if l == nil || l.sem == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	claim := func() int {
+		if i := int(next.Add(1)) - 1; i < n {
+			return i
+		}
+		return -1
+	}
+	var wg sync.WaitGroup
+	for i := claim(); i >= 0; i = claim() {
+		select {
+		case l.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					<-l.sem
+					wg.Done()
+				}()
+				for ; i >= 0; i = claim() {
+					fn(i)
+				}
+			}(i)
+		default:
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) within the limiter's budget and
+// returns the results in index order. The output is identical for any
+// budget as long as fn(i) is a pure function of i.
+func Map[T any](l *Limiter, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	l.ForEach(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

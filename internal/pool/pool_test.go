@@ -1,0 +1,87 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var counts [n]atomic.Int32
+		NewLimiter(workers).ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	NewLimiter(4).ForEach(0, func(int) { ran = true })
+	NewLimiter(4).ForEach(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("ForEach ran tasks for n <= 0")
+	}
+}
+
+func TestMapOrderIndependentOfBudget(t *testing.T) {
+	want := Map(NewLimiter(1), 50, func(i int) int { return i * i })
+	for _, workers := range []int{2, 5, 50} {
+		got := Map(NewLimiter(workers), 50, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d got %d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNilLimiterIsSequential(t *testing.T) {
+	var l *Limiter
+	sum := 0
+	l.ForEach(10, func(i int) { sum += i }) // must run on this goroutine
+	if sum != 45 {
+		t.Fatalf("nil limiter sum = %d", sum)
+	}
+}
+
+// TestNestedForEachSharesOneBudget is the contract that prevents worker
+// multiplication: a fan-out inside a fan-out draws from the same limiter,
+// so the peak number of concurrently running tasks stays at the configured
+// width instead of width^2 — and nesting never deadlocks.
+func TestNestedForEachSharesOneBudget(t *testing.T) {
+	const width = 4
+	l := NewLimiter(width)
+	var running, peak atomic.Int32
+	task := func() {
+		if r := running.Add(1); r > peak.Load() {
+			peak.Store(r) // racy max, but only ever under-reports
+		}
+		for i := 0; i < 100; i++ {
+			runtime.Gosched()
+		}
+		running.Add(-1)
+	}
+	l.ForEach(8, func(int) {
+		l.ForEach(8, func(int) { task() })
+	})
+	if p := peak.Load(); p > width {
+		t.Fatalf("peak concurrency %d exceeded the budget %d", p, width)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
+	}
+}

@@ -16,6 +16,12 @@
 // interference-aware policy uses the jobs' interference coefficients (the
 // §6.2 hint the paper proposes adding to job descriptions) to avoid
 // co-locating high-pressure jobs with sensitive ones.
+//
+// The Monte-Carlo sweeps are embarrassingly parallel and deterministic at
+// the same time: every simulated run owns the RNG substream of its run
+// index (stats.RNG.Stream), so Distribution and Compare produce
+// byte-identical results whether executed sequentially or across a worker
+// pool of any size.
 package sched
 
 import (
@@ -23,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/pool"
 	"repro/internal/stats"
 )
 
@@ -77,12 +84,32 @@ func SimulateRun(cfg machine.Config, phases []machine.PhaseStats, pol Interferen
 }
 
 // Distribution runs n independent simulations and returns the run times.
+// Run i draws from substream i of the seeded generator, so the result is
+// identical to DistributionParallel at any worker count.
 func Distribution(cfg machine.Config, phases []machine.PhaseStats, pol Interference, n int, seed uint64) []float64 {
-	rng := stats.NewRNG(seed)
+	return DistributionParallel(cfg, phases, pol, n, seed, 1)
+}
+
+// DistributionParallel runs n independent simulations across a bounded
+// worker pool. Each run i owns the deterministic RNG substream
+// stats.NewRNG(seed).Stream(i), so times[i] depends only on (seed, i): the
+// returned slice is byte-identical for any worker count, including the
+// sequential workers=1 case.
+func DistributionParallel(cfg machine.Config, phases []machine.PhaseStats, pol Interference, n int, seed uint64, workers int) []float64 {
+	return DistributionLimited(cfg, phases, pol, n, seed, pool.NewLimiter(workers))
+}
+
+// DistributionLimited is DistributionParallel drawing workers from a shared
+// concurrency limiter, so callers that are themselves part of a parallel
+// sweep (the Figure 13 driver) stay inside one global budget.
+func DistributionLimited(cfg machine.Config, phases []machine.PhaseStats, pol Interference, n int, seed uint64, l *pool.Limiter) []float64 {
+	// Split derives all n substreams in one O(n) pass over the jump chain;
+	// substream i is identical to stats.NewRNG(seed).Stream(i).
+	rngs := stats.NewRNG(seed).Split(n)
 	times := make([]float64, n)
-	for i := range times {
-		times[i] = SimulateRun(cfg, phases, pol, rng)
-	}
+	l.ForEach(n, func(i int) {
+		times[i] = SimulateRun(cfg, phases, pol, rngs[i])
+	})
 	return times
 }
 
@@ -101,8 +128,20 @@ type Summary struct {
 
 // Compare runs the Figure 13 protocol: n runs under each scheduler.
 func Compare(workload string, cfg machine.Config, phases []machine.PhaseStats, n int, seed uint64) Summary {
-	base := Distribution(cfg, phases, Baseline(), n, seed)
-	aware := Distribution(cfg, phases, Aware(), n, seed+1)
+	return CompareParallel(workload, cfg, phases, n, seed, 1)
+}
+
+// CompareParallel is Compare with the two run distributions simulated on a
+// bounded worker pool. The summary is byte-identical for any worker count.
+func CompareParallel(workload string, cfg machine.Config, phases []machine.PhaseStats, n int, seed uint64, workers int) Summary {
+	return CompareLimited(workload, cfg, phases, n, seed, pool.NewLimiter(workers))
+}
+
+// CompareLimited is CompareParallel drawing workers from a shared
+// concurrency limiter.
+func CompareLimited(workload string, cfg machine.Config, phases []machine.PhaseStats, n int, seed uint64, l *pool.Limiter) Summary {
+	base := DistributionLimited(cfg, phases, Baseline(), n, seed, l)
+	aware := DistributionLimited(cfg, phases, Aware(), n, seed+1, l)
 	s := Summary{
 		Workload: workload,
 		Baseline: stats.FiveNumber(base),

@@ -226,3 +226,42 @@ func TestSimulateRunBoundedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDistributionParallelByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	ph := []machine.PhaseStats{phaseRemote(1<<30, 0.5, 1e9)}
+	want := Distribution(cfg, ph, Baseline(), 40, 42)
+	for _, workers := range []int{2, 4, 16} {
+		got := DistributionParallel(cfg, ph, Baseline(), 40, 42, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: run %d diverged: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompareParallelByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	ph := []machine.PhaseStats{phaseRemote(8<<30, 0.8, 1e8)}
+	want := Compare("x", cfg, ph, 60, 5)
+	got := CompareParallel("x", cfg, ph, 60, 5, 8)
+	if want != got {
+		t.Fatalf("parallel summary diverged:\nseq: %+v\npar: %+v", want, got)
+	}
+}
+
+// Property: runs of a distribution are independent draws — permuting the
+// run count must not change the values of earlier runs (substreams are
+// keyed by run index, not consumed from one shared stream).
+func TestDistributionPrefixStable(t *testing.T) {
+	cfg := testConfig()
+	ph := []machine.PhaseStats{phaseRemote(1<<30, 0.6, 1e9)}
+	short := Distribution(cfg, ph, Baseline(), 10, 7)
+	long := Distribution(cfg, ph, Baseline(), 30, 7)
+	for i := range short {
+		if short[i] != long[i] {
+			t.Fatalf("run %d changed when n grew: %v vs %v", i, short[i], long[i])
+		}
+	}
+}

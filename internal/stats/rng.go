@@ -3,7 +3,12 @@
 // five-number summaries, means, and least-squares fits.
 //
 // All experiments in this repository must be reproducible run-to-run, so the
-// package deliberately offers only explicitly seeded generators.
+// package deliberately offers only explicitly seeded generators. For
+// parallel fan-out the RNG is splittable: Stream and Split derive
+// independent, non-overlapping substreams via the xoshiro jump functions,
+// so every parallel task can own a deterministic generator whose output
+// depends only on the base seed and the task index — never on worker count
+// or scheduling order.
 package stats
 
 import "math"
@@ -89,6 +94,71 @@ func (r *RNG) ExpFloat64() float64 {
 			return -math.Log(u)
 		}
 	}
+}
+
+// jumpPoly and longJumpPoly are the xoshiro256** jump polynomials: applying
+// jump advances the generator 2^128 steps, longJump 2^192 steps, without
+// generating the intermediate values.
+var (
+	jumpPoly     = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	longJumpPoly = [4]uint64{0x76e15d3efefdcbbf, 0xc5004e441c522fb3, 0x77710069854ee241, 0x39109bb02acbe635}
+)
+
+func (r *RNG) applyJump(poly [4]uint64) {
+	var s0, s1, s2, s3 uint64
+	for _, p := range poly {
+		for b := 0; b < 64; b++ {
+			if p&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s = [4]uint64{s0, s1, s2, s3}
+}
+
+// Jump advances the generator by 2^128 steps, as if Uint64 had been called
+// 2^128 times. Successive jumps partition the full 2^256-1 period into
+// non-overlapping subsequences of 2^128 values each.
+func (r *RNG) Jump() { r.applyJump(jumpPoly) }
+
+// LongJump advances the generator by 2^192 steps, yielding up to 2^64
+// starting points spaced 2^192 values apart — far more separation than any
+// realistic fan-out can consume.
+func (r *RNG) LongJump() { r.applyJump(longJumpPoly) }
+
+// Stream returns an independent generator for parallel task i: a copy of
+// r's current state advanced by i+1 long-jumps, so streams for distinct i
+// are guaranteed non-overlapping for at least 2^192 draws. The receiver is
+// not advanced, and concurrent Stream calls on a shared base generator are
+// safe as long as nothing mutates the base. Stream(i) depends only on r's
+// state and i — never on worker count or completion order — which is what
+// makes parallel Monte-Carlo sweeps byte-identical to their sequential
+// counterparts. It panics if i is negative.
+func (r *RNG) Stream(i int) *RNG {
+	if i < 0 {
+		panic("stats: Stream with negative index")
+	}
+	sub := &RNG{s: r.s}
+	for k := 0; k <= i; k++ {
+		sub.LongJump()
+	}
+	return sub
+}
+
+// Split returns n independent generators, Stream(0) through Stream(n-1),
+// for handing one substream to each of n parallel tasks.
+func (r *RNG) Split(n int) []*RNG {
+	out := make([]*RNG, 0, n)
+	sub := &RNG{s: r.s}
+	for i := 0; i < n; i++ {
+		sub.LongJump()
+		out = append(out, &RNG{s: sub.s})
+	}
+	return out
 }
 
 // Perm returns a random permutation of [0, n).

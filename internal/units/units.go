@@ -1,5 +1,10 @@
-// Package units provides byte, bandwidth, and duration formatting helpers
-// shared by the experiment reports and CLIs.
+// Package units provides the byte, bandwidth, flops, percentage, and
+// duration formatting helpers shared by the experiment reports and CLIs,
+// so every artifact renders quantities in the same human-readable form the
+// paper uses (binary byte multiples, SI rate multiples, one decimal of
+// precision). Keeping formatting in one place is also what makes rendered
+// artifacts byte-comparable across sequential and parallel experiment
+// runs.
 package units
 
 import "fmt"

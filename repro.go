@@ -169,6 +169,14 @@ func CompareSchedulers(name string, p Platform, phases []PhaseStats, n int, seed
 	return sched.Compare(name, p, phases, n, seed)
 }
 
+// CompareSchedulersParallel is CompareSchedulers with the Monte-Carlo runs
+// fanned out over a bounded pool of workers goroutines. Every run owns a
+// deterministic RNG substream keyed by its run index, so the summary is
+// byte-identical to the sequential CompareSchedulers for any worker count.
+func CompareSchedulersParallel(name string, p Platform, phases []PhaseStats, n int, seed uint64, workers int) ScheduleSummary {
+	return sched.CompareParallel(name, p, phases, n, seed, workers)
+}
+
 // BFSVariant selects the §7.1 case-study placement strategy for BFS.
 type BFSVariant = bfs.Variant
 
@@ -255,7 +263,10 @@ func ReplayTrace(p Platform, r io.Reader) (*Machine, error) {
 	return m, nil
 }
 
-// ExperimentSuite regenerates the paper's tables and figures.
+// ExperimentSuite regenerates the paper's tables and figures. Suite.All
+// runs the drivers sequentially; Suite.AllParallel fans them out over a
+// bounded worker pool with byte-identical output (see the Workers field for
+// intra-driver fan-out).
 type ExperimentSuite = experiments.Suite
 
 // NewExperiments returns the experiment suite on the given platform.
