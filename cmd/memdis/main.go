@@ -1,16 +1,22 @@
 // Command memdis regenerates the paper's tables and figures on the emulated
 // platform. Usage:
 //
-//	memdis all            # every experiment in paper order
-//	memdis -j 8 all       # same, fanned out over 8 workers
-//	memdis -j 0 all       # use every core
-//	memdis figure9        # one experiment (figureN or tableN)
-//	memdis list           # list experiment ids
+//	memdis all                        # every experiment in paper order
+//	memdis -j 8 all                   # same, fanned out over 8 workers
+//	memdis -j 0 all                   # use every core
+//	memdis figure9                    # one experiment (figureN or tableN)
+//	memdis -platform cxl-gen5 figure9 # same analysis on an alternate platform
+//	memdis list                       # list experiment ids
+//	memdis platforms                  # list platform scenarios
 //
 // The -j flag bounds the worker pool for both the experiment-level and the
 // intra-driver fan-out. Output is byte-identical for any -j value: every
 // randomized simulation owns a deterministic RNG substream keyed by its run
 // index, never by worker or completion order.
+//
+// The -platform flag re-runs the selected experiments on a registered
+// scenario (see `memdis platforms`): the drivers use the scenario's link,
+// timing constants and capacity sweep in place of the testbed's.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/pool"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -33,6 +40,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("memdis", flag.ContinueOnError)
 	workers := fs.Int("j", 1, "parallel workers (0 = all cores)")
+	platform := fs.String("platform", "baseline", "platform scenario (see `memdis platforms`)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -41,14 +49,23 @@ func run(args []string) error {
 	}
 	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: memdis [-j N] <all|list|%s|...>", experiments.IDs[0])
+		return fmt.Errorf("usage: memdis [-j N] [-platform S] <all|list|platforms|%s|...>", experiments.IDs[0])
 	}
-	s := experiments.Default()
+	sp, err := scenario.Get(*platform)
+	if err != nil {
+		return err
+	}
+	s := experiments.NewSuiteFor(sp)
 	s.Workers = pool.Workers(*workers)
 	switch args[0] {
 	case "list":
 		for _, id := range experiments.IDs {
 			fmt.Println(id)
+		}
+		return nil
+	case "platforms":
+		for _, sc := range scenario.All() {
+			fmt.Printf("%-12s  %s\n", sc.Name, sc.Description)
 		}
 		return nil
 	case "all":

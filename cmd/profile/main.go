@@ -3,6 +3,7 @@
 //
 //	profile -workload BFS                 # all three levels, defaults
 //	profile -workload XSBench -scale 2 -local 0.25 -level 2
+//	profile -workload HPL -platform cxl-gen5   # profile against a scenario
 package main
 
 import (
@@ -12,7 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
-	"repro/internal/machine"
+	"repro/internal/scenario"
 	"repro/internal/textplot"
 	"repro/internal/units"
 	"repro/internal/workloads/registry"
@@ -31,6 +32,7 @@ func run(args []string) error {
 	scale := fs.Int("scale", 1, "input scale: 1, 2 or 4")
 	local := fs.Float64("local", 0.5, "local tier capacity as a fraction of peak usage (levels 2-3)")
 	level := fs.Int("level", 0, "run a single level (1, 2 or 3); 0 = all")
+	platform := fs.String("platform", "baseline", "platform scenario (see `memdis platforms`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,7 +46,11 @@ func run(args []string) error {
 	if *scale != 1 && *scale != 2 && *scale != 4 {
 		return fmt.Errorf("scale must be 1, 2 or 4")
 	}
-	p := core.NewProfiler(machine.Default())
+	sp, err := scenario.Get(*platform)
+	if err != nil {
+		return err
+	}
+	p := core.NewProfiler(sp.Platform)
 
 	if *level == 0 || *level == 1 {
 		printLevel1(p, entry, *scale)

@@ -1,13 +1,27 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
 	"repro/internal/workloads/registry"
 )
 
-func prof() *Profiler { return NewProfiler(machine.Default()) }
+// sharedProf is one profiler shared by the read-only tests below: reports
+// are memoized per (workload, scale[, fraction]) and treated as read-only,
+// so sharing trims repeated workload executions without changing any
+// assertion. Tests that exercise cache mechanics construct their own
+// profiler with NewProfiler.
+var (
+	profOnce   sync.Once
+	sharedProf *Profiler
+)
+
+func prof() *Profiler {
+	profOnce.Do(func() { sharedProf = NewProfiler(machine.Default()) })
+	return sharedProf
+}
 
 func entry(t *testing.T, name string) registry.Entry {
 	t.Helper()
@@ -106,6 +120,9 @@ func TestLevel2ReferencesAndRatios(t *testing.T) {
 }
 
 func TestLevel2XSBenchLowRemote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three capacity-bounded XSBench runs; the full tier covers the sweep")
+	}
 	p := prof()
 	for _, frac := range []float64{0.25, 0.5, 0.75} {
 		rep := p.Level2(entry(t, "XSBench"), 1, frac)

@@ -19,10 +19,12 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/pool"
+	"repro/internal/scenario"
 	"repro/internal/workloads/registry"
 )
 
@@ -37,6 +39,13 @@ type Suite struct {
 	// Runs is the number of scheduler runs per configuration in Figure 13
 	// (100 in the paper; tests may lower it).
 	Runs int
+	// Fractions is the local-capacity sweep for the Figure 9/10 protocol
+	// (CapacityFractions by default; scenario suites install their own).
+	Fractions []float64
+	// Headline is the single local-capacity point the Figure 11 and 13
+	// analyses run at (the paper's 50%-50% split by default; scenario
+	// suites install their HeadlineFraction).
+	Headline float64
 	// Workers bounds the intra-driver fan-out over workloads, scales,
 	// capacity points and Monte-Carlo runs. Values <= 1 mean sequential.
 	// Results do not depend on it. Do not change it while drivers run.
@@ -45,16 +54,50 @@ type Suite struct {
 	// sweep), is the single concurrency budget every fan-out level draws
 	// from, so nesting never multiplies the worker count.
 	limiter *pool.Limiter
+	// scenMu guards scenProfs, the per-scenario profilers of the
+	// cross-scenario driver (memoized so repeated sweeps share caches).
+	scenMu    sync.Mutex
+	scenProfs map[string]*core.Profiler
 }
 
 // NewSuite returns a suite on the given platform with the paper's defaults.
 func NewSuite(cfg machine.Config) *Suite {
 	return &Suite{
-		Cfg:      cfg,
-		Profiler: core.NewProfiler(cfg),
-		Entries:  registry.All(),
-		Runs:     100,
+		Cfg:       cfg,
+		Profiler:  core.NewProfiler(cfg),
+		Entries:   registry.All(),
+		Runs:      100,
+		Fractions: append([]float64(nil), CapacityFractions...),
+		Headline:  0.50,
 	}
+}
+
+// NewSuiteFor returns a suite on a scenario's platform with the scenario's
+// capacity sweep installed, so every driver reproduces the paper's protocol
+// on the alternate system.
+func NewSuiteFor(sp scenario.Spec) *Suite {
+	s := NewSuite(sp.Platform)
+	s.Fractions = append([]float64(nil), sp.CapacityFractions...)
+	s.Headline = sp.HeadlineFraction
+	return s
+}
+
+// fractions returns the suite's capacity sweep (the paper's protocol when
+// unset).
+func (s *Suite) fractions() []float64 {
+	if len(s.Fractions) == 0 {
+		return CapacityFractions
+	}
+	return s.Fractions
+}
+
+// headline returns the suite's headline capacity point (the paper's 50%-50%
+// split when unset).
+func (s *Suite) headline() float64 {
+	if s.Headline <= 0 || s.Headline >= 1 {
+		return 0.50
+	}
+	return s.Headline
 }
 
 // workers returns the effective intra-driver fan-out width.
@@ -95,10 +138,12 @@ var LoILevels = []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
 // is 25%, 50% and 75%).
 var CapacityFractions = []float64{0.75, 0.50, 0.25}
 
-// IDs lists every experiment in paper order.
+// IDs lists every experiment in paper order, followed by the repo's own
+// cross-scenario comparison (not a paper artifact, hence last).
 var IDs = []string{
 	"figure1", "table1", "table2", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
+	"scenarios",
 }
 
 // Run executes the experiment with the given ID.
@@ -128,6 +173,8 @@ func (s *Suite) Run(id string) (Result, error) {
 		return s.Figure12(), nil
 	case "figure13", "fig13":
 		return s.Figure13(), nil
+	case "scenarios":
+		return s.Scenarios(), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs, ", "))
 }

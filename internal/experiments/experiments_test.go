@@ -9,7 +9,10 @@ import (
 )
 
 // sharedSuite caches one suite across tests; the drivers themselves memoize
-// peak footprints, so reuse keeps the package's test time bounded.
+// peak footprints, so reuse keeps the package's test time bounded. The suite
+// keeps the paper's defaults (Runs=100) so its renders are byte-identical to
+// the memdis CLI — the golden tests lean on this to share one profiling pass
+// with the shape tests.
 var (
 	suiteOnce sync.Once
 	suite     *Suite
@@ -18,9 +21,19 @@ var (
 func testSuite() *Suite {
 	suiteOnce.Do(func() {
 		suite = NewSuite(machine.Default())
-		suite.Runs = 30 // enough for stable five-number summaries in tests
 	})
 	return suite
+}
+
+// skipShort marks the tests that regenerate full artifacts (profiling every
+// workload, some at x2/x4 input scales). The quick tier — `go test -short`
+// — covers the same driver and engine code paths through the reduced suites
+// of parallel_test.go and the data-only golden artifacts instead.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full artifact regeneration; run without -short (nightly tier)")
+	}
 }
 
 func findRow10(panel Figure10Config, name string) Figure10Row {
@@ -75,6 +88,7 @@ func TestTable1CostShape(t *testing.T) {
 }
 
 func TestTable2FootprintRatios(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Table2()
 	if len(r.Entries) != 6 {
 		t.Fatalf("want 6 workloads, got %d", len(r.Entries))
@@ -98,6 +112,7 @@ func TestTable2FootprintRatios(t *testing.T) {
 }
 
 func TestFigure5CoversBothRegimes(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure5()
 	if len(r.Points) < 8 {
 		t.Fatalf("too few roofline points: %d", len(r.Points))
@@ -125,6 +140,7 @@ func TestFigure5CoversBothRegimes(t *testing.T) {
 }
 
 func TestFigure6ScalingShapes(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure6()
 	if len(r.Curves) != 18 {
 		t.Fatalf("want 6 workloads x 3 scales = 18 curves, got %d", len(r.Curves))
@@ -175,6 +191,7 @@ func TestFigure6ScalingShapes(t *testing.T) {
 }
 
 func TestFigure7PrefetchTimelines(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure7()
 	if len(r.Timelines) != 3 {
 		t.Fatalf("want NekRS/HPL/XSBench, got %d timelines", len(r.Timelines))
@@ -192,6 +209,7 @@ func TestFigure7PrefetchTimelines(t *testing.T) {
 }
 
 func TestFigure8PrefetchShape(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure8()
 	rows := map[string]Figure8Row{}
 	for _, row := range r.Rows {
@@ -229,6 +247,7 @@ func TestFigure8PrefetchShape(t *testing.T) {
 }
 
 func TestFigure9ReferenceLinesAndXSBench(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure9()
 	if len(r.Configs) != 3 {
 		t.Fatalf("want 3 capacity panels, got %d", len(r.Configs))
@@ -269,6 +288,7 @@ func TestFigure9ReferenceLinesAndXSBench(t *testing.T) {
 }
 
 func TestFigure10SensitivityShape(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure10()
 	if len(r.Configs) != 3 {
 		t.Fatalf("want 3 panels, got %d", len(r.Configs))
@@ -310,6 +330,7 @@ func TestFigure10SensitivityShape(t *testing.T) {
 }
 
 func TestFigure11LBenchValidation(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure11()
 	// Left: measured LoI tracks configured intensity for 2 threads.
 	for i, c := range r.ConfiguredPct {
@@ -357,6 +378,7 @@ func TestFigure11LBenchValidation(t *testing.T) {
 }
 
 func TestFigure12CaseStudyShape(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure12()
 	if len(r.Cells) != 6 {
 		t.Fatalf("want 2 pooling x 3 variants = 6 cells, got %d", len(r.Cells))
@@ -393,6 +415,7 @@ func TestFigure12CaseStudyShape(t *testing.T) {
 }
 
 func TestFigure13SchedulingShape(t *testing.T) {
+	skipShort(t)
 	r := testSuite().Figure13()
 	if len(r.Summaries) != 6 {
 		t.Fatalf("want 6 workloads, got %d", len(r.Summaries))
@@ -418,6 +441,7 @@ func TestFigure13SchedulingShape(t *testing.T) {
 }
 
 func TestRunAndAllIDs(t *testing.T) {
+	skipShort(t)
 	s := testSuite()
 	for _, id := range IDs {
 		r, err := s.Run(id)

@@ -30,15 +30,16 @@ type Figure10Result struct {
 }
 
 // Figure10 quantifies every workload's sensitivity to pool interference at
-// LoI 0-50% on the three capacity configurations.
+// LoI 0-50% on the suite's capacity configurations.
 func (s *Suite) Figure10() Figure10Result {
-	rows := pool.Map(s.lim(), len(CapacityFractions)*len(s.Entries), func(i int) Figure10Row {
+	fractions := s.fractions()
+	rows := pool.Map(s.lim(), len(fractions)*len(s.Entries), func(i int) Figure10Row {
 		e := s.Entries[i%len(s.Entries)]
-		rep := s.Profiler.Level3(e, 1, CapacityFractions[i/len(s.Entries)], LoILevels)
+		rep := s.Profiler.Level3(e, 1, fractions[i/len(s.Entries)], LoILevels)
 		return Figure10Row{Workload: e.Name, Relative: rep.Relative}
 	})
 	res := Figure10Result{LoIs: LoILevels}
-	for fi, frac := range CapacityFractions {
+	for fi, frac := range fractions {
 		res.Configs = append(res.Configs, Figure10Config{
 			LocalFraction: frac,
 			Rows:          rows[fi*len(s.Entries) : (fi+1)*len(s.Entries)],
@@ -60,7 +61,7 @@ func (r Figure10Result) Render() string {
 		}
 		tb := textplot.NewTable(fmt.Sprintf(
 			"Figure 10 (%d%%-%d%% capacity): relative performance under interference",
-			int(panel.LocalFraction*100), int((1-panel.LocalFraction)*100)), headers...)
+			pct(panel.LocalFraction), pct(1-panel.LocalFraction)), headers...)
 		for _, row := range panel.Rows {
 			cells := []any{row.Workload}
 			for _, v := range row.Relative {
@@ -85,7 +86,9 @@ type Figure11Result struct {
 	IC              []float64
 	PCMTrafficGBs   []float64
 	// Right panel: per-application induced interference coefficient at the
-	// 50% pooling setup (time-weighted mean with per-phase extremes).
+	// suite's headline pooling setup (time-weighted mean with per-phase
+	// extremes). AppPooled is the pooled (remote) capacity share used.
+	AppPooled               float64
 	Apps                    []string
 	AppIC, AppICLo, AppICHi []float64
 }
@@ -124,11 +127,14 @@ func (s *Suite) Figure11() Figure11Result {
 		res.PCMTrafficGBs = append(res.PCMTrafficGBs, l.PCMTraffic(bg)/1e9)
 	}
 
-	// Right: per-application IC on the 50% pooling setup.
+	// Right: per-application IC on the headline pooling setup (50% in the
+	// paper's protocol; scenario suites install their own split).
+	local := s.headline()
+	res.AppPooled = 1 - local
 	ics := pool.Map(s.lim(), len(s.Entries), func(i int) [3]float64 {
 		e := s.Entries[i]
-		rep := s.Profiler.Level2(e, 1, 0.50)
-		cfg := s.Profiler.ConfigForLocalFraction(e, 1, 0.50)
+		rep := s.Profiler.Level2(e, 1, local)
+		cfg := s.Profiler.ConfigForLocalFraction(e, 1, local)
 		mean, lo, hi := md.ICOfWorkload(cfg, rep.Phase2Stats)
 		return [3]float64{mean, lo, hi}
 	})
@@ -162,7 +168,9 @@ func (r Figure11Result) Render() string {
 		mid.AddRow(f, fmt.Sprintf("%.2f", r.IC[i]), fmt.Sprintf("%.1f", r.PCMTrafficGBs[i]))
 	}
 
-	right := textplot.NewTable("Figure 11 (right): interference coefficient induced by applications (50% pooling)",
+	right := textplot.NewTable(
+		fmt.Sprintf("Figure 11 (right): interference coefficient induced by applications (%d%% pooling)",
+			pct(r.AppPooled)),
 		"Application", "IC mean", "IC min", "IC max")
 	for i, a := range r.Apps {
 		right.AddRow(a, fmt.Sprintf("%.3f", r.AppIC[i]),

@@ -31,17 +31,18 @@ type Figure9Result struct {
 	Configs []Figure9Config
 }
 
-// Figure9 measures the per-phase remote access ratios on the three
-// capacity configurations (75/25, 50/50, 25/75).
+// Figure9 measures the per-phase remote access ratios on the suite's
+// capacity configurations (75/25, 50/50, 25/75 in the paper's protocol).
 func (s *Suite) Figure9() Figure9Result {
 	// Fan out over the full (capacity point, workload) grid; assembly into
 	// panels below follows the flattened index order, so the result is
 	// identical to the sequential nested loops.
-	reps := pool.Map(s.lim(), len(CapacityFractions)*len(s.Entries), func(i int) core.Level2Report {
-		return s.Profiler.Level2(s.Entries[i%len(s.Entries)], 1, CapacityFractions[i/len(s.Entries)])
+	fractions := s.fractions()
+	reps := pool.Map(s.lim(), len(fractions)*len(s.Entries), func(i int) core.Level2Report {
+		return s.Profiler.Level2(s.Entries[i%len(s.Entries)], 1, fractions[i/len(s.Entries)])
 	})
 	var res Figure9Result
-	for fi, frac := range CapacityFractions {
+	for fi, frac := range fractions {
 		panel := Figure9Config{LocalFraction: frac}
 		for ei, e := range s.Entries {
 			rep := reps[fi*len(s.Entries)+ei]
@@ -67,7 +68,7 @@ func (r Figure9Result) Render() string {
 	out := ""
 	for _, panel := range r.Configs {
 		title := fmt.Sprintf("Figure 9 (%d%%-%d%% local-remote capacity): remote access ratio [R_cap=%s R_BW=%s]",
-			int(panel.LocalFraction*100), int((1-panel.LocalFraction)*100),
+			pct(panel.LocalFraction), pct(1-panel.LocalFraction),
 			units.Percent(panel.RCap), units.Percent(panel.RBW))
 		bars := textplot.NewBarChart(title)
 		bars.Unit = "%"

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -26,6 +27,79 @@ func smallSuite() *Suite {
 	return s
 }
 
+// freshCheapSuite returns a suite trimmed to the two cheapest workloads
+// with a reduced Monte-Carlo count — small enough for the quick tier to
+// exercise the drivers and the engine end-to-end on one core.
+func freshCheapSuite() *Suite {
+	s := NewSuite(machine.Default())
+	var picked []registry.Entry
+	for _, e := range registry.All() {
+		switch e.Name {
+		case "HPL", "Hypre":
+			picked = append(picked, e)
+		}
+	}
+	s.Entries = picked
+	s.Runs = 5
+	return s
+}
+
+// quickSuite is the shared warm instance of freshCheapSuite for quick-tier
+// tests that only read results (renders are pure functions of the cached
+// profiles, so sharing changes nothing but the runtime).
+var (
+	quickOnce  sync.Once
+	quickCache *Suite
+)
+
+func quickSuite() *Suite {
+	quickOnce.Do(func() { quickCache = freshCheapSuite() })
+	return quickCache
+}
+
+// quickIDs span the capacity sweep (figure9), the Monte-Carlo scheduling
+// comparison (figure13) and the cross-scenario what-if sweep (scenarios).
+var quickIDs = []string{"figure9", "figure13", "scenarios"}
+
+// TestQuickTierDeterministic is the quick-tier (-short) version of the
+// byte-identical guarantee: the quick driver subset must render the same
+// bytes sequentially (shared warm suite), on a cold suite at 8 workers, and
+// again on the warm parallel suite (scenario profilers memoized on it). It
+// runs in both tiers so every PR still covers the engine plus the scenario
+// subsystem end-to-end.
+func TestQuickTierDeterministic(t *testing.T) {
+	render := func(s *Suite) map[string]string {
+		out := map[string]string{}
+		for _, id := range quickIDs {
+			r, err := s.Run(id)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			out[id] = r.Render()
+		}
+		return out
+	}
+	seq := render(quickSuite())
+	par := freshCheapSuite()
+	par.Workers = 8
+	got := render(par)
+	for _, id := range quickIDs {
+		if seq[id] != got[id] {
+			t.Errorf("%s: workers=8 render differs from sequential (%d vs %d bytes)",
+				id, len(seq[id]), len(got[id]))
+		}
+		if len(seq[id]) == 0 {
+			t.Errorf("%s renders empty", id)
+		}
+	}
+	again := render(par)
+	for _, id := range quickIDs {
+		if again[id] != got[id] {
+			t.Errorf("%s: warm re-render differs", id)
+		}
+	}
+}
+
 // TestAllParallelByteIdenticalToSequential is the engine's core guarantee:
 // a parallel sweep renders exactly the bytes the sequential sweep renders,
 // for any worker count. Two independent suites are used so the parallel run
@@ -33,6 +107,7 @@ func smallSuite() *Suite {
 // at a different worker count on the warm parallel suite then checks that
 // neither worker count nor cache reuse changes the rendered output.
 func TestAllParallelByteIdenticalToSequential(t *testing.T) {
+	skipShort(t)
 	seq := smallSuite().All()
 	parSuite := smallSuite()
 	par := parSuite.AllParallel(8)

@@ -68,6 +68,28 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithLatency returns a copy of the config with the unloaded access latency
+// set to d seconds. Scenario specs use these derivation helpers to express
+// alternate interconnect generations as deltas against a base link.
+func (c Config) WithLatency(d float64) Config {
+	c.Latency = d
+	return c
+}
+
+// WithBandwidth returns a copy with the peak payload bandwidth and the peak
+// raw traffic set (bytes/s).
+func (c Config) WithBandwidth(data, peak float64) Config {
+	c.DataBandwidth = data
+	c.PeakTraffic = peak
+	return c
+}
+
+// WithOverhead returns a copy with the protocol overhead multiplier set.
+func (c Config) WithOverhead(x float64) Config {
+	c.Overhead = x
+	return c
+}
+
 // Link is the contention model plus traffic accounting.
 type Link struct {
 	cfg Config

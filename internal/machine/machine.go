@@ -101,6 +101,34 @@ func (c Config) WithPrefetch(on bool) Config {
 	return c
 }
 
+// WithName returns a copy with the platform name set. Scenario specs use
+// the derivation helpers below to parameterize a platform from a base
+// configuration instead of mutating struct fields in place.
+func (c Config) WithName(name string) Config {
+	c.Name = name
+	return c
+}
+
+// WithLink returns a copy with the pool interconnect replaced.
+func (c Config) WithLink(l link.Config) Config {
+	c.Link = l
+	return c
+}
+
+// WithLocalTier returns a copy with the node-local memory tier set to the
+// given bandwidth (bytes/s) and latency (seconds).
+func (c Config) WithLocalTier(bandwidth, latency float64) Config {
+	c.LocalBandwidth = bandwidth
+	c.LocalLatency = latency
+	return c
+}
+
+// WithPeakFlops returns a copy with the node peak compute set (flop/s).
+func (c Config) WithPeakFlops(f float64) Config {
+	c.PeakFlops = f
+	return c
+}
+
 // Tick is one timeline bucket (one workload-defined step), backing the
 // traffic-timeline plots of Figure 7.
 type Tick struct {

@@ -121,6 +121,122 @@ func TestRemoteAccessRatio(t *testing.T) {
 	}
 }
 
+// localNames flattens a plan's local set for comparison.
+func localNames(p Plan) []string {
+	out := make([]string, 0, len(p.Local))
+	for _, o := range p.Local {
+		out = append(out, o.Name)
+	}
+	return out
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]int{}
+	for _, s := range a {
+		m[s]++
+	}
+	for _, s := range b {
+		m[s]--
+	}
+	for _, n := range m {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGreedyExactAgreementTable pins the small inputs where the greedy
+// heuristic is provably optimal: there the exact knapsack must select the
+// same local set, so the two optimizers validate each other.
+func TestGreedyExactAgreementTable(t *testing.T) {
+	const ps = 4096
+	cases := []struct {
+		name      string
+		objects   []Object
+		capacity  uint64
+		wantLocal []string
+	}{
+		{"empty input", nil, 8 * ps, nil},
+		{"zero capacity", []Object{obj("a", ps, 10)}, 0, nil},
+		{"single object fits", []Object{obj("a", ps, 10)}, ps, []string{"a"}},
+		{"single object too big", []Object{obj("a", 2 * ps, 10)}, ps, nil},
+		{
+			"everything fits",
+			[]Object{obj("a", ps, 5), obj("b", 2 * ps, 50), obj("c", ps, 500)},
+			4 * ps,
+			[]string{"a", "b", "c"},
+		},
+		{
+			"equal sizes, hotness decides",
+			[]Object{obj("cold", ps, 1), obj("warm", ps, 10), obj("hot", ps, 100)},
+			2 * ps,
+			[]string{"hot", "warm"},
+		},
+		{
+			"dominant hot object crowds out the rest",
+			[]Object{obj("hot-big", 3 * ps, 9000), obj("cold-a", 2 * ps, 10), obj("cold-b", 2 * ps, 10)},
+			3 * ps,
+			[]string{"hot-big"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Greedy(tc.objects, tc.capacity)
+			e := Exact(tc.objects, tc.capacity, ps)
+			if !sameSet(localNames(g), tc.wantLocal) {
+				t.Errorf("greedy local = %v, want %v", localNames(g), tc.wantLocal)
+			}
+			if !sameSet(localNames(e), localNames(g)) {
+				t.Errorf("exact local %v disagrees with greedy %v on a greedy-optimal input",
+					localNames(e), localNames(g))
+			}
+			if g.LocalBytes > tc.capacity || e.LocalBytes > tc.capacity {
+				t.Errorf("capacity exceeded: greedy=%d exact=%d cap=%d",
+					g.LocalBytes, e.LocalBytes, tc.capacity)
+			}
+		})
+	}
+}
+
+// TestInterleaveEdgePatterns pins the degenerate N:M patterns: no remote
+// pages, no local pages, and the empty pattern.
+func TestInterleaveEdgePatterns(t *testing.T) {
+	local, remote := 73e9, 34e9
+	cases := []struct {
+		name    string
+		p       InterleavePattern
+		tier0   mem.Tier // tier of page 0
+		wantAgg float64
+	}{
+		{"all-local N:0", InterleavePattern{Local: 3, Remote: 0}, mem.TierLocal, local},
+		{"all-remote 0:M", InterleavePattern{Local: 0, Remote: 2}, mem.TierRemote, remote},
+		{"empty 0:0", InterleavePattern{}, mem.TierLocal, local},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 6; i++ {
+				if got := tc.p.TierOf(i); got != tc.tier0 {
+					t.Fatalf("TierOf(%d) = %v, want %v for every page", i, got, tc.tier0)
+				}
+			}
+			if got := tc.p.AggregateBandwidth(local, remote); got != tc.wantAgg {
+				t.Errorf("AggregateBandwidth = %v, want %v", got, tc.wantAgg)
+			}
+		})
+	}
+	// Degenerate tier bandwidths collapse BandwidthInterleave to all-local.
+	for _, bw := range [][2]float64{{0, remote}, {local, 0}, {0, 0}} {
+		p := BandwidthInterleave(bw[0], bw[1], 8)
+		if p.Local != 1 || p.Remote != 0 {
+			t.Errorf("BandwidthInterleave(%v, %v) = %+v, want all-local 1:0", bw[0], bw[1], p)
+		}
+	}
+}
+
 // Property: Exact never yields fewer local accesses than Greedy, and both
 // respect the capacity bound.
 func TestExactDominatesGreedyProperty(t *testing.T) {

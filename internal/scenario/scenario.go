@@ -1,0 +1,153 @@
+// Package scenario turns the single-testbed reproduction into a what-if
+// engine: a registry of named, declarative platform scenarios against which
+// the paper's whole methodology — the three-level profiles, the R_cap/R_BW
+// reference points, the interference analyses — can be re-evaluated.
+//
+// The paper defines its reference points relative to one testbed (a
+// dual-socket Skylake-X with the UPI link standing in for the pool
+// interconnect), but its purpose is to answer "should *this* system adopt
+// disaggregated memory". Each Spec here describes one such candidate
+// system: the paper's testbed as "baseline", CXL-generation interconnect
+// variants with different link latency/bandwidth/protocol overhead, a
+// larger pooled tier, and a skewed capacity sweep. The registry mirrors
+// workloads/registry so drivers, the CLI and the public API can enumerate
+// and look up scenarios exactly like workloads.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// Spec is one named platform scenario: a full platform configuration plus
+// the capacity protocol to sweep on it.
+type Spec struct {
+	// Name identifies the scenario (e.g. "cxl-gen5").
+	Name string
+	// Description is the one-line summary shown in listings.
+	Description string
+	// Platform is the complete emulated-platform configuration.
+	Platform machine.Config
+	// CapacityFractions is the local-capacity sweep for the Figure 9/10
+	// protocol on this platform: the local tier sized to each fraction of
+	// the workload's peak usage, most-local first.
+	CapacityFractions []float64
+	// HeadlineFraction is the single capacity point used by cross-scenario
+	// comparisons (the baseline's 50%-50% split plays this role in the
+	// paper's Figures 11-13).
+	HeadlineFraction float64
+}
+
+// Validate checks the spec is internally consistent.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if s.Platform.Link.DataBandwidth <= 0 || s.Platform.Link.PeakTraffic <= 0 {
+		return fmt.Errorf("scenario %s: link bandwidth must be positive", s.Name)
+	}
+	if s.Platform.Link.Latency <= 0 || s.Platform.LocalLatency <= 0 {
+		return fmt.Errorf("scenario %s: latencies must be positive", s.Name)
+	}
+	if s.Platform.LocalBandwidth <= 0 || s.Platform.PeakFlops <= 0 {
+		return fmt.Errorf("scenario %s: local bandwidth and peak flops must be positive", s.Name)
+	}
+	if len(s.CapacityFractions) == 0 {
+		return fmt.Errorf("scenario %s: no capacity fractions", s.Name)
+	}
+	for _, f := range s.CapacityFractions {
+		if f <= 0 || f >= 1 {
+			return fmt.Errorf("scenario %s: capacity fraction %v outside (0,1)", s.Name, f)
+		}
+	}
+	if s.HeadlineFraction <= 0 || s.HeadlineFraction >= 1 {
+		return fmt.Errorf("scenario %s: headline fraction %v outside (0,1)", s.Name, s.HeadlineFraction)
+	}
+	return nil
+}
+
+// paperFractions is the paper's 75/50/25 local-capacity protocol.
+var paperFractions = []float64{0.75, 0.50, 0.25}
+
+// All returns the scenario table, baseline first. Each call builds fresh
+// specs, so callers may modify the returned values freely.
+func All() []Spec {
+	base := machine.Default()
+	return []Spec{
+		{
+			Name:              "baseline",
+			Description:       "the paper's testbed: UPI-emulated pool link (34 GB/s data, 202 ns)",
+			Platform:          base,
+			CapacityFractions: append([]float64(nil), paperFractions...),
+			HeadlineFraction:  0.50,
+		},
+		{
+			Name: "cxl-gen5",
+			// A CXL 2.0 pool device behind a PCIe 5.0 x8 port: less payload
+			// bandwidth than UPI, higher round-trip latency, and a heavier
+			// flit overhead than the UPI cacheline protocol.
+			Description: "CXL 2.0 pool on PCIe 5.0 x8: 26 GB/s data, 380 ns, 1.25x flit overhead",
+			Platform: base.WithName("cxl-gen5").WithLink(
+				base.Link.WithBandwidth(26e9, 62e9).WithLatency(380e-9).WithOverhead(1.25)),
+			CapacityFractions: append([]float64(nil), paperFractions...),
+			HeadlineFraction:  0.50,
+		},
+		{
+			Name: "cxl-gen6",
+			// PCIe 6.0 x8 doubles the lane rate and the 256-byte FLIT mode
+			// trims protocol overhead; latency improves modestly because the
+			// device-side controller, not the wire, dominates.
+			Description: "CXL 3.0 pool on PCIe 6.0 x8: 52 GB/s data, 310 ns, 1.12x flit overhead",
+			Platform: base.WithName("cxl-gen6").WithLink(
+				base.Link.WithBandwidth(52e9, 120e9).WithLatency(310e-9).WithOverhead(1.12)),
+			CapacityFractions: append([]float64(nil), paperFractions...),
+			HeadlineFraction:  0.50,
+		},
+		{
+			Name: "big-pool",
+			// The same interconnect as the baseline but a rack that leans on
+			// the pool for most of the footprint: the local tier shrinks to
+			// at most half of peak usage and down to a tenth.
+			Description:       "pool-heavy capacity: local tier 50/25/10% of peak usage on the baseline link",
+			Platform:          base.WithName("big-pool"),
+			CapacityFractions: []float64{0.50, 0.25, 0.10},
+			HeadlineFraction:  0.25,
+		},
+		{
+			Name: "skewed-split",
+			// A deliberately asymmetric sweep probing both extremes of the
+			// R_cap reference: an almost-all-local split and an
+			// almost-all-pooled one around the balanced midpoint.
+			Description:       "skewed capacity splits: local tier 90/50/15% of peak usage",
+			Platform:          base.WithName("skewed-split"),
+			CapacityFractions: []float64{0.90, 0.50, 0.15},
+			HeadlineFraction:  0.90,
+		},
+	}
+}
+
+// Default returns the baseline scenario (the paper's testbed).
+func Default() Spec { return All()[0] }
+
+// Get returns the scenario with the given name.
+func Get(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// Names returns the scenario names in table order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	return names
+}

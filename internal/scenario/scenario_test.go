@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("want at least 5 scenarios, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, sp := range all {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+		if seen[sp.Name] {
+			t.Errorf("duplicate scenario name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.Description == "" {
+			t.Errorf("%s: empty description", sp.Name)
+		}
+	}
+}
+
+func TestBaselineIsTheTestbed(t *testing.T) {
+	if Default().Name != "baseline" {
+		t.Fatalf("default scenario = %q, want baseline", Default().Name)
+	}
+	if Default().Platform != machine.Default() {
+		t.Error("baseline platform must be the testbed configuration")
+	}
+	if got := Default().CapacityFractions; len(got) != 3 || got[0] != 0.75 || got[1] != 0.50 || got[2] != 0.25 {
+		t.Errorf("baseline sweep = %v, want the paper's 75/50/25", got)
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	for _, name := range Names() {
+		sp, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if sp.Name != name {
+			t.Errorf("Get(%s) returned %s", name, sp.Name)
+		}
+	}
+	if _, err := Get("upi-gen9"); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+func TestCXLGenerationsOrdering(t *testing.T) {
+	g5, _ := Get("cxl-gen5")
+	g6, _ := Get("cxl-gen6")
+	base := Default()
+	// Gen6 doubles gen5's payload bandwidth and trims latency and overhead.
+	if g6.Platform.Link.DataBandwidth != 2*g5.Platform.Link.DataBandwidth {
+		t.Errorf("gen6 data bandwidth %v should double gen5's %v",
+			g6.Platform.Link.DataBandwidth, g5.Platform.Link.DataBandwidth)
+	}
+	if !(g6.Platform.Link.Latency < g5.Platform.Link.Latency) {
+		t.Error("gen6 latency should improve on gen5")
+	}
+	if !(g6.Platform.Link.Overhead < g5.Platform.Link.Overhead) {
+		t.Error("gen6 flit overhead should improve on gen5")
+	}
+	// Both CXL links are slower than the UPI testbed link; only the link
+	// differs from the testbed (same node, cache, memory geometry).
+	for _, sp := range []Spec{g5, g6} {
+		if !(sp.Platform.Link.Latency > base.Platform.Link.Latency) {
+			t.Errorf("%s: CXL latency should exceed UPI's", sp.Name)
+		}
+		if sp.Platform.WithLink(base.Platform.Link).WithName(base.Platform.Name) != base.Platform {
+			t.Errorf("%s: only the link and name should differ from the testbed", sp.Name)
+		}
+	}
+}
+
+func TestCapacityScenariosKeepTestbedLink(t *testing.T) {
+	for _, name := range []string{"big-pool", "skewed-split"} {
+		sp, _ := Get(name)
+		if sp.Platform.Link != Default().Platform.Link {
+			t.Errorf("%s: capacity scenarios should keep the testbed link", name)
+		}
+		found := false
+		for _, f := range sp.CapacityFractions {
+			if f == sp.HeadlineFraction {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: headline fraction %v should be part of the sweep %v",
+				name, sp.HeadlineFraction, sp.CapacityFractions)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	good := Default()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero link bandwidth", func(s *Spec) { s.Platform.Link.DataBandwidth = 0 }},
+		{"zero link latency", func(s *Spec) { s.Platform.Link.Latency = 0 }},
+		{"zero local bandwidth", func(s *Spec) { s.Platform.LocalBandwidth = 0 }},
+		{"no fractions", func(s *Spec) { s.CapacityFractions = nil }},
+		{"fraction out of range", func(s *Spec) { s.CapacityFractions = []float64{1.5} }},
+		{"headline out of range", func(s *Spec) { s.HeadlineFraction = 0 }},
+	}
+	for _, tc := range cases {
+		sp := good
+		sp.CapacityFractions = append([]float64(nil), good.CapacityFractions...)
+		tc.mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tc.name)
+		}
+	}
+}

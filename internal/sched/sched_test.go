@@ -23,6 +23,18 @@ func phaseRemote(totalBytes uint64, remoteFrac float64, flops float64) machine.P
 
 func testConfig() machine.Config { return machine.Default() }
 
+// mcRuns scales a Monte-Carlo run count down in the quick tier: the
+// simulations are analytic and cheap, but the tiered harness keeps every
+// package's -short cost proportional to its signal.
+func mcRuns(n int) int {
+	if testing.Short() {
+		if n = n / 5; n < 10 {
+			n = 10
+		}
+	}
+	return n
+}
+
 func TestSimulateRunIdleMatchesModel(t *testing.T) {
 	cfg := testConfig()
 	ph := phaseRemote(1<<30, 0.5, 1e9)
@@ -86,7 +98,7 @@ func TestCompareAwareImprovesSensitiveJob(t *testing.T) {
 	cfg := testConfig()
 	// High remote share, low AI: the Hypre-like sensitive case.
 	ph := []machine.PhaseStats{phaseRemote(8<<30, 0.8, 1e8)}
-	s := Compare("hypre-like", cfg, ph, 100, 5)
+	s := Compare("hypre-like", cfg, ph, mcRuns(100), 5)
 	if s.MeanSpeedup <= 0 {
 		t.Errorf("aware scheduling should speed up a sensitive job, got %.4f", s.MeanSpeedup)
 	}
@@ -103,7 +115,7 @@ func TestCompareInsensitiveJobUnaffected(t *testing.T) {
 	cfg := testConfig()
 	// No remote traffic: interference cannot matter.
 	ph := []machine.PhaseStats{phaseRemote(1<<30, 0, 1e9)}
-	s := Compare("local-only", cfg, ph, 50, 9)
+	s := Compare("local-only", cfg, ph, mcRuns(50), 9)
 	if s.MeanSpeedup > 0.001 {
 		t.Errorf("local-only job should see ~0 speedup, got %.4f", s.MeanSpeedup)
 	}

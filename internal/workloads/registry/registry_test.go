@@ -75,6 +75,9 @@ func TestEveryWorkloadEmitsDeclaredPhases(t *testing.T) {
 // TestWorkloadsDeterministic runs each workload twice and requires
 // identical traffic statistics (all RNG is seeded).
 func TestWorkloadsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload twice; the quick tier keeps the single-pass phase check")
+	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/placement"
 	"repro/internal/roofline"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -62,6 +63,20 @@ type PhaseStats = machine.PhaseStats
 // 111 ns local tier, 34 GB/s / 202 ns pool link with 85 GB/s peak raw
 // traffic, 250 Gflop/s peak compute.
 func DefaultPlatform() Platform { return machine.Default() }
+
+// Scenario is a named, declarative platform scenario: a complete platform
+// plus the capacity protocol to sweep on it. The registry answers the
+// paper's "should *this* system adopt disaggregated memory" question for
+// systems other than the testbed — CXL-generation link variants, pool-heavy
+// capacity tiers, skewed splits.
+type Scenario = scenario.Spec
+
+// Platforms returns every registered scenario, the paper's testbed
+// ("baseline") first.
+func Platforms() []Scenario { return scenario.All() }
+
+// PlatformNamed looks up a scenario by name (e.g. "cxl-gen5").
+func PlatformNamed(name string) (Scenario, error) { return scenario.Get(name) }
 
 // NewMachine builds a machine for direct workload execution.
 func NewMachine(p Platform) *Machine { return machine.New(p) }
@@ -269,8 +284,17 @@ func ReplayTrace(p Platform, r io.Reader) (*Machine, error) {
 // intra-driver fan-out).
 type ExperimentSuite = experiments.Suite
 
-// NewExperiments returns the experiment suite on the given platform.
+// NewExperiments returns the experiment suite on the given platform with
+// the paper's capacity protocol.
 func NewExperiments(p Platform) *ExperimentSuite { return experiments.NewSuite(p) }
+
+// NewExperimentsFor returns the experiment suite for a scenario: its
+// platform plus its capacity sweep and headline split, so the drivers
+// reproduce the paper's protocol on the alternate system (what the CLI's
+// -platform flag does). Use this — not NewExperiments(sc.Platform), which
+// would drop the scenario's capacity protocol — when starting from a
+// Scenario.
+func NewExperimentsFor(sc Scenario) *ExperimentSuite { return experiments.NewSuiteFor(sc) }
 
 // ExperimentIDs lists every table/figure id in paper order.
 func ExperimentIDs() []string { return append([]string(nil), experiments.IDs...) }

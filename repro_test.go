@@ -107,12 +107,50 @@ func TestFacadeInterleave(t *testing.T) {
 
 func TestFacadeExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 12 {
-		t.Fatalf("want 12 experiments, got %d", len(ids))
+	// The paper's 12 artifacts plus the repo's cross-scenario comparison.
+	if len(ids) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(ids))
+	}
+	if ids[len(ids)-1] != "scenarios" {
+		t.Fatalf("scenario comparison should come after the paper artifacts: %v", ids)
 	}
 	ids[0] = "mutated"
 	if ExperimentIDs()[0] == "mutated" {
 		t.Fatal("ExperimentIDs must return a copy")
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	ps := Platforms()
+	if len(ps) < 5 {
+		t.Fatalf("Platforms() = %d entries, want >= 5", len(ps))
+	}
+	if ps[0].Name != "baseline" {
+		t.Fatalf("first scenario = %q, want baseline", ps[0].Name)
+	}
+	if ps[0].Platform != DefaultPlatform() {
+		t.Error("baseline scenario must be the default platform")
+	}
+	sp, err := PlatformNamed("cxl-gen5")
+	if err != nil || sp.Name != "cxl-gen5" {
+		t.Fatalf("PlatformNamed(cxl-gen5) = %v, %v", sp.Name, err)
+	}
+	if _, err := PlatformNamed("bogus"); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	// NewExperimentsFor carries the scenario's capacity protocol, not just
+	// its platform — big-pool differs from baseline only in that protocol.
+	bp, err := PlatformNamed("big-pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewExperimentsFor(bp)
+	if s.Cfg != bp.Platform || s.Headline != bp.HeadlineFraction {
+		t.Errorf("suite headline = %v on %q, want %v on %q",
+			s.Headline, s.Cfg.Name, bp.HeadlineFraction, bp.Platform.Name)
+	}
+	if len(s.Fractions) != len(bp.CapacityFractions) || s.Fractions[0] != bp.CapacityFractions[0] {
+		t.Errorf("suite fractions = %v, want %v", s.Fractions, bp.CapacityFractions)
 	}
 }
 
