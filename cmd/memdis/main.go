@@ -6,6 +6,9 @@
 //	memdis -j 0 all                   # use every core
 //	memdis figure9                    # one experiment (figureN or tableN)
 //	memdis -platform cxl-gen5 figure9 # same analysis on an alternate platform
+//	memdis -format json figure9       # machine-readable artifact on stdout
+//	memdis -out artifacts all         # write figureN.txt|.json|.csv files
+//	memdis serve                      # serve every artifact over HTTP
 //	memdis list                       # list experiment ids
 //	memdis platforms                  # list platform scenarios
 //
@@ -17,16 +20,24 @@
 // The -platform flag re-runs the selected experiments on a registered
 // scenario (see `memdis platforms`): the drivers use the scenario's link,
 // timing constants and capacity sweep in place of the testbed's.
+//
+// The -format flag picks the stdout renderer (text, json or csv); -out DIR
+// additionally writes each selected artifact in every format into DIR. Both
+// draw from one render-once artifact store, as does `memdis serve`, which
+// answers GET /artifacts/<id>.<txt|json|csv>?platform=<scenario> on -addr.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sync"
 
 	"repro/internal/experiments"
 	"repro/internal/pool"
+	"repro/internal/report"
 	"repro/internal/scenario"
 )
 
@@ -37,10 +48,65 @@ func main() {
 	}
 }
 
+// suites builds one experiment suite per platform on demand, so the store
+// source shares profiler caches across artifacts of the same scenario.
+// This deliberately does not reuse repro.NewExperimentSource: the CLI
+// needs the suite handles themselves — to install -j on each and to run
+// `all` through Suite.AllParallel — which the Source seam hides.
+func suites(workers int) func(platform string) (*experiments.Suite, error) {
+	var mu sync.Mutex
+	cache := map[string]*experiments.Suite{}
+	return func(platform string) (*experiments.Suite, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if s, ok := cache[platform]; ok {
+			return s, nil
+		}
+		sp, err := scenario.Get(platform)
+		if err != nil {
+			return nil, err
+		}
+		s := experiments.NewSuiteFor(sp)
+		s.Workers = workers
+		cache[platform] = s
+		return s, nil
+	}
+}
+
+// newStore wires the experiment suites behind the artifact store: documents
+// compute once per (platform, artifact), renders once per format.
+func newStore(forPlatform func(string) (*experiments.Suite, error)) *report.Store {
+	return report.NewStore(func(platform, artifact string) (report.Doc, error) {
+		// The store keys and the serve URLs use canonical ids only; the CLI
+		// canonicalizes aliases before it gets here, and HTTP clients asking
+		// for an alias get pointed at the canonical URL instead of computing
+		// and caching a duplicate document under a divergent key.
+		canon, err := experiments.CanonicalID(artifact)
+		if err != nil {
+			return report.Doc{}, err
+		}
+		if canon != artifact {
+			return report.Doc{}, fmt.Errorf("%q is an alias: request %q", artifact, canon)
+		}
+		s, err := forPlatform(platform)
+		if err != nil {
+			return report.Doc{}, err
+		}
+		r, err := s.Run(canon)
+		if err != nil {
+			return report.Doc{}, err
+		}
+		return r.Report(), nil
+	})
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("memdis", flag.ContinueOnError)
 	workers := fs.Int("j", 1, "parallel workers (0 = all cores)")
 	platform := fs.String("platform", "baseline", "platform scenario (see `memdis platforms`)")
+	format := fs.String("format", "text", "stdout renderer: text, json or csv")
+	outDir := fs.String("out", "", "also write each artifact as <id>.txt|.json|.csv into this directory")
+	addr := fs.String("addr", "localhost:8080", "listen address for `memdis serve`")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -49,14 +115,17 @@ func run(args []string) error {
 	}
 	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: memdis [-j N] [-platform S] <all|list|platforms|%s|...>", experiments.IDs[0])
+		return fmt.Errorf("usage: memdis [-j N] [-platform S] [-format F] [-out DIR] <all|serve|list|platforms|%s|...>", experiments.IDs[0])
 	}
-	sp, err := scenario.Get(*platform)
+	f, err := report.ParseFormat(*format)
 	if err != nil {
 		return err
 	}
-	s := experiments.NewSuiteFor(sp)
-	s.Workers = pool.Workers(*workers)
+	if _, err := scenario.Get(*platform); err != nil {
+		return err
+	}
+	forPlatform := suites(pool.Workers(*workers))
+	st := newStore(forPlatform)
 	switch args[0] {
 	case "list":
 		for _, id := range experiments.IDs {
@@ -68,6 +137,12 @@ func run(args []string) error {
 			fmt.Printf("%-12s  %s\n", sc.Name, sc.Description)
 		}
 		return nil
+	case "serve":
+		if len(args) > 1 {
+			return fmt.Errorf("unexpected arguments after \"serve\": %v (flags go before the subcommand: memdis -addr HOST:PORT serve)", args[1:])
+		}
+		fmt.Fprintf(os.Stderr, "memdis: serving artifacts on http://%s/ (default platform %s)\n", *addr, *platform)
+		return http.ListenAndServe(*addr, st.Handler(experiments.IDs, *platform))
 	case "all":
 		if len(args) > 1 {
 			// Catch `memdis all -j 4`: flag parsing stops at the first
@@ -75,18 +150,58 @@ func run(args []string) error {
 			// ignored instead of changing the worker count.
 			return fmt.Errorf("unexpected arguments after \"all\": %v (flags go before the subcommand: memdis -j N all)", args[1:])
 		}
-		for _, r := range s.AllParallel(s.Workers) {
-			fmt.Printf("==== %s ====\n%s\n", r.ID(), r.Render())
+		// Compute the whole artifact set with the experiment-level fan-out
+		// and seed the store, which then only renders.
+		s, err := forPlatform(*platform)
+		if err != nil {
+			return err
 		}
-		return nil
+		for _, r := range s.AllParallel(s.Workers) {
+			st.Put(*platform, r.Report())
+		}
+		return emit(st, *platform, experiments.IDs, f, *outDir, true)
 	default:
-		for _, id := range args {
-			r, err := s.Run(id)
+		// Canonicalize aliases ("fig9" -> "figure9") so store keys, served
+		// URLs and -out filenames always match the document's artifact id.
+		ids := make([]string, len(args))
+		for i, id := range args {
+			canon, err := experiments.CanonicalID(id)
 			if err != nil {
 				return err
 			}
-			fmt.Println(r.Render())
+			ids[i] = canon
 		}
+		return emit(st, *platform, ids, f, *outDir, false)
+	}
+}
+
+// emit prints each artifact in the chosen format (with the historical
+// banner for `all` text output) and, when outDir is set, writes the whole
+// artifact set in every format there.
+func emit(st *report.Store, platform string, ids []string, f report.Format, outDir string, banner bool) error {
+	for _, id := range ids {
+		out, err := st.Artifact(platform, id, f)
+		if err != nil {
+			return err
+		}
+		switch {
+		case f == report.FormatText && banner:
+			fmt.Printf("==== %s ====\n%s\n", id, out)
+		case f == report.FormatText:
+			// The historical `memdis <id>` layout: Println adds the blank
+			// line that separated consecutive artifacts.
+			fmt.Println(out)
+		default:
+			fmt.Print(out)
+		}
+	}
+	if outDir == "" {
 		return nil
 	}
+	paths, err := st.WriteDir(outDir, platform, ids)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "memdis: wrote %d artifact files to %s\n", len(paths), outDir)
+	return nil
 }

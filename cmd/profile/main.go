@@ -1,9 +1,11 @@
 // Command profile runs the three-level profiling workflow of Figure 4 on
-// one workload and prints each level's report.
+// one workload and emits each level's report through the artifact pipeline.
 //
 //	profile -workload BFS                 # all three levels, defaults
 //	profile -workload XSBench -scale 2 -local 0.25 -level 2
 //	profile -workload HPL -platform cxl-gen5   # profile against a scenario
+//	profile -workload HPL -format json         # machine-readable reports
+//	profile -workload HPL -out profdir         # write level1.txt|.json|.csv ...
 package main
 
 import (
@@ -13,8 +15,8 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/scenario"
-	"repro/internal/textplot"
 	"repro/internal/units"
 	"repro/internal/workloads/registry"
 )
@@ -33,6 +35,8 @@ func run(args []string) error {
 	local := fs.Float64("local", 0.5, "local tier capacity as a fraction of peak usage (levels 2-3)")
 	level := fs.Int("level", 0, "run a single level (1, 2 or 3); 0 = all")
 	platform := fs.String("platform", "baseline", "platform scenario (see `memdis platforms`)")
+	format := fs.String("format", "text", "stdout renderer: text, json or csv")
+	outDir := fs.String("out", "", "also write each report as level<N>.txt|.json|.csv into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,85 +54,130 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
 	p := core.NewProfiler(sp.Platform)
 
+	var docs []report.Doc
 	if *level == 0 || *level == 1 {
-		printLevel1(p, entry, *scale)
+		docs = append(docs, level1Doc(p, entry, *scale))
 	}
 	if *level == 0 || *level == 2 {
-		printLevel2(p, entry, *scale, *local)
+		docs = append(docs, level2Doc(p, entry, *scale, *local))
 	}
 	if *level == 0 || *level == 3 {
-		printLevel3(p, entry, *scale, *local)
+		docs = append(docs, level3Doc(p, entry, *scale, *local))
 	}
+	for _, d := range docs {
+		d.Platform = sp.Name
+		out, err := report.Render(d, f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
+	if *outDir == "" {
+		return nil
+	}
+	st := store(docs, sp.Name)
+	ids := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.Artifact
+	}
+	paths, err := st.WriteDir(*outDir, sp.Name, ids)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "profile: wrote %d report files to %s\n", len(paths), *outDir)
 	return nil
 }
 
-func printLevel1(p *core.Profiler, entry registry.Entry, scale int) {
-	rep := p.Level1(entry, scale)
-	fmt.Printf("== Level 1: general characteristics (%s x%d) ==\n", rep.Workload, rep.Scale)
-	fmt.Printf("peak footprint: %s\n", units.Bytes(rep.PeakFootprint))
-	tb := textplot.NewTable("per-phase profile",
-		"Phase", "Time", "AI (flop/B)", "Throughput", "Bandwidth", "PF acc", "PF cov")
-	for _, ph := range rep.Phases {
-		tb.AddRow(ph.Name, units.Seconds(ph.Time), fmt.Sprintf("%.3f", ph.AI),
-			units.Flops(ph.Throughput), units.Bandwidth(ph.Bandwidth),
-			units.Percent(ph.PrefetchAccuracy), units.Percent(ph.PrefetchCoverage))
+// store seeds an artifact store with the already-computed level docs, so
+// WriteDir renders without re-profiling.
+func store(docs []report.Doc, platform string) *report.Store {
+	st := report.NewStore(func(pf, artifact string) (report.Doc, error) {
+		return report.Doc{}, fmt.Errorf("profile: unknown report %q", artifact)
+	})
+	for _, d := range docs {
+		st.Put(platform, d)
 	}
-	fmt.Print(tb.String())
-	fmt.Printf("prefetching: accuracy %s, coverage %s, excess traffic %s, performance gain %s\n\n",
-		units.Percent(rep.Accuracy), units.Percent(rep.Coverage),
-		units.Percent(rep.ExcessTraffic), units.Percent(rep.PerformanceGain))
+	return st
 }
 
-func printLevel2(p *core.Profiler, entry registry.Entry, scale int, local float64) {
+// level1Doc builds the Level-1 (general characteristics) report document.
+func level1Doc(p *core.Profiler, entry registry.Entry, scale int) report.Doc {
+	rep := p.Level1(entry, scale)
+	tb := report.NewTable("per-phase profile",
+		"Phase", "Time", "AI (flop/B)", "Throughput", "Bandwidth", "PF acc", "PF cov")
+	for _, ph := range rep.Phases {
+		tb.Row(report.Str(ph.Name), report.Seconds(ph.Time), report.Fixed(ph.AI, 3),
+			report.Flops(ph.Throughput), report.Bandwidth(ph.Bandwidth),
+			report.Pct(ph.PrefetchAccuracy), report.Pct(ph.PrefetchCoverage))
+	}
+	return *report.New("level1").Append(
+		report.NoteBlock(fmt.Sprintf("== Level 1: general characteristics (%s x%d) ==\n", rep.Workload, rep.Scale)),
+		report.NoteBlock(fmt.Sprintf("peak footprint: %s\n", units.Bytes(rep.PeakFootprint))),
+		tb.Block(),
+		report.NoteBlock(fmt.Sprintf("prefetching: accuracy %s, coverage %s, excess traffic %s, performance gain %s\n\n",
+			units.Percent(rep.Accuracy), units.Percent(rep.Coverage),
+			units.Percent(rep.ExcessTraffic), units.Percent(rep.PerformanceGain))))
+}
+
+// level2Doc builds the Level-2 (multi-tier access) report document.
+func level2Doc(p *core.Profiler, entry registry.Entry, scale int, local float64) report.Doc {
 	rep := p.Level2(entry, scale, local)
-	fmt.Printf("== Level 2: multi-tier access (%s x%d, local=%.0f%% of peak) ==\n",
-		rep.Workload, rep.Scale, local*100)
-	fmt.Printf("references: R_cap=%s R_BW=%s\n", units.Percent(rep.RCap), units.Percent(rep.RBW))
-	tb := textplot.NewTable("per-phase tier ratios",
+	tb := report.NewTable("per-phase tier ratios",
 		"Phase", "%RemoteAccess", "%RemoteCapacity", "AI", "Verdict")
 	for _, ph := range rep.Phases {
-		tb.AddRow(ph.Name, units.Percent(ph.RemoteAccessRatio),
-			units.Percent(ph.RemoteCapacityRatio), fmt.Sprintf("%.3f", ph.AI),
-			rep.Verdict(ph).String())
+		tb.Row(report.Str(ph.Name), report.Pct(ph.RemoteAccessRatio),
+			report.Pct(ph.RemoteCapacityRatio), report.Fixed(ph.AI, 3),
+			report.Str(rep.Verdict(ph).String()))
 	}
-	fmt.Print(tb.String())
 
 	regions := core.SortRegionsHot(rep.Regions)
 	if len(regions) > 6 {
 		regions = regions[:6]
 	}
-	rt := textplot.NewTable("hottest allocation sites", "Region", "Local pages", "Remote pages", "Accesses")
+	rt := report.NewTable("hottest allocation sites", "Region", "Local pages", "Remote pages", "Accesses")
 	for _, r := range regions {
-		rt.AddRow(r.Region.Name, r.LocalPages, r.RemotePages, r.Accesses)
+		rt.Row(report.Str(r.Region.Name), report.Int(r.LocalPages), report.Int(r.RemotePages),
+			report.Uint(r.Accesses))
 	}
-	fmt.Print(rt.String())
-	fmt.Println()
+	return *report.New("level2").Append(
+		report.NoteBlock(fmt.Sprintf("== Level 2: multi-tier access (%s x%d, local=%.0f%% of peak) ==\n",
+			rep.Workload, rep.Scale, local*100)),
+		report.NoteBlock(fmt.Sprintf("references: R_cap=%s R_BW=%s\n", units.Percent(rep.RCap), units.Percent(rep.RBW))),
+		tb.Block(),
+		rt.Block(),
+		report.NoteBlock("\n"))
 }
 
-func printLevel3(p *core.Profiler, entry registry.Entry, scale int, local float64) {
+// level3Doc builds the Level-3 (memory interference) report document.
+func level3Doc(p *core.Profiler, entry registry.Entry, scale int, local float64) report.Doc {
 	lois := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
 	rep := p.Level3(entry, scale, local, lois)
-	fmt.Printf("== Level 3: memory interference (%s x%d, local=%.0f%% of peak) ==\n",
-		rep.Workload, rep.Scale, local*100)
 	headers := []string{"metric"}
 	for _, l := range lois {
 		headers = append(headers, fmt.Sprintf("LoI=%d", int(l*100)))
 	}
-	tb := textplot.NewTable("sensitivity to interference", headers...)
-	row := []any{"rel perf"}
+	tb := report.NewTable("sensitivity to interference", headers...)
+	row := []report.Cell{report.Str("rel perf")}
 	idx := make([]int, len(rep.Relative))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Ints(idx)
 	for _, i := range idx {
-		row = append(row, fmt.Sprintf("%.3f", rep.Relative[i]))
+		row = append(row, report.Fixed(rep.Relative[i], 3))
 	}
-	tb.AddRow(row...)
-	fmt.Print(tb.String())
-	fmt.Printf("interference coefficient: mean %.3f (min %.3f, max %.3f)\n",
-		rep.ICMean, rep.ICLo, rep.ICHi)
-	fmt.Printf("deployment advice: %s\n", rep.DeploymentAdvice())
+	tb.Row(row...)
+	return *report.New("level3").Append(
+		report.NoteBlock(fmt.Sprintf("== Level 3: memory interference (%s x%d, local=%.0f%% of peak) ==\n",
+			rep.Workload, rep.Scale, local*100)),
+		tb.Block(),
+		report.NoteBlock(fmt.Sprintf("interference coefficient: mean %.3f (min %.3f, max %.3f)\n",
+			rep.ICMean, rep.ICLo, rep.ICHi)),
+		report.NoteBlock(fmt.Sprintf("deployment advice: %s\n", rep.DeploymentAdvice())))
 }

@@ -6,8 +6,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/pool"
+	"repro/internal/report"
 	"repro/internal/sched"
-	"repro/internal/textplot"
 	"repro/internal/units"
 	"repro/internal/workloads"
 	"repro/internal/workloads/bfs"
@@ -91,24 +91,24 @@ func (s *Suite) Figure12() Figure12Result {
 // ID implements Result.
 func (Figure12Result) ID() string { return "figure12" }
 
-// Render prints runtime, remote traffic, and sensitivity per cell.
-func (r Figure12Result) Render() string {
-	tb := textplot.NewTable("Figure 12: BFS data-placement optimization",
+// Report builds runtime, remote traffic, and sensitivity per cell.
+func (r Figure12Result) Report() report.Doc {
+	tb := report.NewTable("Figure 12: BFS data-placement optimization",
 		"Pooled", "Variant", "Runtime (s)", "Remote bytes", "%RemoteAccess", "Rel perf @LoI=50")
 	for _, c := range r.Cells {
 		last := 1.0
 		if n := len(c.Sensitivity); n > 0 {
 			last = c.Sensitivity[n-1]
 		}
-		tb.AddRow(
-			units.Percent(c.PooledFraction),
-			c.Variant.String(),
-			fmt.Sprintf("%.4f", c.Runtime),
-			units.Bytes(c.RemoteBytes),
-			units.Percent(c.RemoteAccessRatio),
-			fmt.Sprintf("%.3f", last))
+		tb.Row(
+			report.Pct(c.PooledFraction),
+			report.Str(c.Variant.String()),
+			report.Fixed(c.Runtime, 4),
+			report.Bytes(c.RemoteBytes),
+			report.Pct(c.RemoteAccessRatio),
+			report.Fixed(last, 3))
 	}
-	out := tb.String()
+	d := report.New("figure12").Append(tb.Block())
 	// Improvement summary lines, matching the paper's headline numbers.
 	byKey := map[string]Figure12Cell{}
 	for _, c := range r.Cells {
@@ -120,13 +120,17 @@ func (r Figure12Result) Render() string {
 		if !okB || !okO || o.Runtime <= 0 {
 			continue
 		}
-		out += fmt.Sprintf("\n%s%% pooled: speedup %.1f%%, remote access %s -> %s, remote bytes -%.0f%%",
+		d.Append(report.NoteBlock(fmt.Sprintf("\n%s%% pooled: speedup %.1f%%, remote access %s -> %s, remote bytes -%.0f%%",
 			pooled, 100*(b.Runtime/o.Runtime-1),
 			units.Percent(b.RemoteAccessRatio), units.Percent(o.RemoteAccessRatio),
-			100*(1-float64(o.RemoteBytes)/float64(b.RemoteBytes)))
+			100*(1-float64(o.RemoteBytes)/float64(b.RemoteBytes)))))
 	}
-	return out + "\n"
+	d.Append(report.NoteBlock("\n"))
+	return *d
 }
+
+// Render implements Result.
+func (r Figure12Result) Render() string { return report.RenderText(r.Report()) }
 
 // Figure13Result is the interference-aware scheduling study.
 type Figure13Result struct {
@@ -155,20 +159,20 @@ func (s *Suite) Figure13() Figure13Result {
 // ID implements Result.
 func (Figure13Result) ID() string { return "figure13" }
 
-// Render prints five-number summaries and box plots per workload.
-func (r Figure13Result) Render() string {
-	tb := textplot.NewTable("Figure 13: execution time over 100 runs, baseline vs interference-aware",
+// Report builds five-number summaries and box distributions per workload.
+func (r Figure13Result) Report() report.Doc {
+	tb := report.NewTable("Figure 13: execution time over 100 runs, baseline vs interference-aware",
 		"Workload", "Sched", "Min", "Q1", "Median", "Q3", "Max", "Mean speedup", "P75 cut")
-	out := ""
+	var boxes []report.Block
 	for _, s := range r.Summaries {
 		b, a := s.Baseline, s.Aware
-		tb.AddRow(s.Workload, "baseline",
-			fmt.Sprintf("%.4f", b.Min), fmt.Sprintf("%.4f", b.Q1), fmt.Sprintf("%.4f", b.Median),
-			fmt.Sprintf("%.4f", b.Q3), fmt.Sprintf("%.4f", b.Max), "", "")
-		tb.AddRow("", "i-aware",
-			fmt.Sprintf("%.4f", a.Min), fmt.Sprintf("%.4f", a.Q1), fmt.Sprintf("%.4f", a.Median),
-			fmt.Sprintf("%.4f", a.Q3), fmt.Sprintf("%.4f", a.Max),
-			units.Percent(s.MeanSpeedup), units.Percent(s.P75Reduction))
+		tb.Row(report.Str(s.Workload), report.Str("baseline"),
+			report.Fixed(b.Min, 4), report.Fixed(b.Q1, 4), report.Fixed(b.Median, 4),
+			report.Fixed(b.Q3, 4), report.Fixed(b.Max, 4), report.Str(""), report.Str(""))
+		tb.Row(report.Str(""), report.Str("i-aware"),
+			report.Fixed(a.Min, 4), report.Fixed(a.Q1, 4), report.Fixed(a.Median, 4),
+			report.Fixed(a.Q3, 4), report.Fixed(a.Max, 4),
+			report.Pct(s.MeanSpeedup), report.Pct(s.P75Reduction))
 		lo, hi := a.Min, b.Max
 		if b.Min < lo {
 			lo = b.Min
@@ -176,11 +180,21 @@ func (r Figure13Result) Render() string {
 		if a.Max > hi {
 			hi = a.Max
 		}
-		out += textplot.Box(fmt.Sprintf("%-8s baseline", s.Workload), b.Min, b.Q1, b.Median, b.Q3, b.Max, lo, hi, 44) + "\n"
-		out += textplot.Box(fmt.Sprintf("%-8s i-aware ", s.Workload), a.Min, a.Q1, a.Median, a.Q3, a.Max, lo, hi, 44) + "\n"
+		bd := &report.Dist{Label: fmt.Sprintf("%-8s baseline", s.Workload),
+			Min: report.Float(b.Min), Q1: report.Float(b.Q1), Median: report.Float(b.Median),
+			Q3: report.Float(b.Q3), Max: report.Float(b.Max),
+			Lo: report.Float(lo), Hi: report.Float(hi), Width: 44}
+		ad := &report.Dist{Label: fmt.Sprintf("%-8s i-aware ", s.Workload),
+			Min: report.Float(a.Min), Q1: report.Float(a.Q1), Median: report.Float(a.Median),
+			Q3: report.Float(a.Q3), Max: report.Float(a.Max),
+			Lo: report.Float(lo), Hi: report.Float(hi), Width: 44}
+		boxes = append(boxes, bd.Block(), ad.Block())
 	}
-	return tb.String() + "\n" + out
+	return *report.New("figure13").Append(tb.Block(), report.Gap()).Append(boxes...)
 }
+
+// Render implements Result.
+func (r Figure13Result) Render() string { return report.RenderText(r.Report()) }
 
 // runOn executes a fresh workload instance on the given config.
 func runOn(cfg machine.Config, e registry.Entry, scale int) *machine.Machine {

@@ -5,9 +5,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pool"
+	"repro/internal/report"
 	"repro/internal/roofline"
-	"repro/internal/textplot"
-	"repro/internal/units"
 	"repro/internal/workloads/registry"
 )
 
@@ -53,28 +52,32 @@ func (s *Suite) Figure5() Figure5Result {
 // ID implements Result.
 func (Figure5Result) ID() string { return "figure5" }
 
-// Render prints the roofline table: per-phase AI, throughput, attainable
-// peak on the single-tier roof and with the added tier (the dashed line).
-func (r Figure5Result) Render() string {
-	tb := textplot.NewTable("Figure 5: roofline placement of workload phases",
+// Report builds the roofline table — per-phase AI, throughput, attainable
+// peak on the single-tier roof and with the added tier (the dashed line) —
+// plus the placement series.
+func (r Figure5Result) Report() report.Doc {
+	tb := report.NewTable("Figure 5: roofline placement of workload phases",
 		"Phase", "AI (flop/B)", "Throughput", "Roof (1 tier)", "Roof (2 tiers)", "Bound")
 	for _, p := range r.Points {
-		tb.AddRow(p.Label,
-			fmt.Sprintf("%.3f", p.AI),
-			units.Flops(p.Throughput),
-			units.Flops(r.Model.Attainable(p.AI)),
-			units.Flops(r.Model.AttainableAggregate(p.AI)),
-			p.Bound.String())
+		tb.Row(report.Str(p.Label),
+			report.Fixed(p.AI, 3),
+			report.Flops(p.Throughput),
+			report.Flops(r.Model.Attainable(p.AI)),
+			report.Flops(r.Model.AttainableAggregate(p.AI)),
+			report.Str(p.Bound.String()))
 	}
-	pl := textplot.NewPlot("Roofline (log-log placement rendered linearly)", "AI flop/B", "Gflop/s")
+	pl := report.NewLinePlot("Roofline (log-log placement rendered linearly)", "AI flop/B", "Gflop/s")
 	var xs, ys []float64
 	for _, p := range r.Points {
 		xs = append(xs, p.AI)
 		ys = append(ys, p.Throughput/1e9)
 	}
-	pl.Add("phases", xs, ys)
-	return tb.String() + "\n" + pl.String()
+	pl.AddLine("phases", xs, ys)
+	return *report.New("figure5").Append(tb.Block(), report.Gap(), pl.Block())
 }
+
+// Render implements Result.
+func (r Figure5Result) Render() string { return report.RenderText(r.Report()) }
 
 // Figure6Curve is the bandwidth-capacity scaling curve of one workload at
 // one input scale.
@@ -122,19 +125,20 @@ func (s *Suite) Figure6() Figure6Result {
 // ID implements Result.
 func (Figure6Result) ID() string { return "figure6" }
 
-// Render prints, per workload, the access share captured by the hottest
-// 10/25/50/75% of pages at each scale, plus the per-workload CDF plot.
-func (r Figure6Result) Render() string {
-	tb := textplot.NewTable("Figure 6: bandwidth-capacity scaling (cumulative access share by hottest pages)",
+// Report builds, per workload, the access share captured by the hottest
+// 10/25/50/75% of pages at each scale, plus the per-workload CDF series.
+func (r Figure6Result) Report() report.Doc {
+	tb := report.NewTable("Figure 6: bandwidth-capacity scaling (cumulative access share by hottest pages)",
 		"Workload", "Scale", "@10% fp", "@25% fp", "@50% fp", "@75% fp")
 	for _, c := range r.Curves {
-		tb.AddRow(c.Workload, fmt.Sprintf("x%d", c.Scale),
-			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(10)),
-			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(25)),
-			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(50)),
-			fmt.Sprintf("%.1f%%", c.AccessAtFootprint(75)))
+		tb.Row(report.Str(c.Workload),
+			report.Cell{Kind: report.KindInt, I: int64(c.Scale), Prefix: "x"},
+			report.FixedSuffix(c.AccessAtFootprint(10), 1, "%"),
+			report.FixedSuffix(c.AccessAtFootprint(25), 1, "%"),
+			report.FixedSuffix(c.AccessAtFootprint(50), 1, "%"),
+			report.FixedSuffix(c.AccessAtFootprint(75), 1, "%"))
 	}
-	out := tb.String()
+	d := report.New("figure6").Append(tb.Block())
 	// One compact plot per workload with its three scales.
 	byWorkload := map[string][]Figure6Curve{}
 	var order []string
@@ -145,7 +149,7 @@ func (r Figure6Result) Render() string {
 		byWorkload[c.Workload] = append(byWorkload[c.Workload], c)
 	}
 	for _, w := range order {
-		pl := textplot.NewPlot(fmt.Sprintf("%s: %%access vs %%footprint", w), "%footprint", "%access")
+		pl := report.NewLinePlot(fmt.Sprintf("%s: %%access vs %%footprint", w), "%footprint", "%access")
 		pl.Rows = 12
 		for _, c := range byWorkload[w] {
 			var xs, ys []float64
@@ -153,12 +157,15 @@ func (r Figure6Result) Render() string {
 				xs = append(xs, p.FootprintPct)
 				ys = append(ys, p.AccessPct)
 			}
-			pl.Add(fmt.Sprintf("x%d", c.Scale), xs, ys)
+			pl.AddLine(fmt.Sprintf("x%d", c.Scale), xs, ys)
 		}
-		out += "\n" + pl.String()
+		d.Append(report.Gap(), pl.Block())
 	}
-	return out
+	return *d
 }
+
+// Render implements Result.
+func (r Figure6Result) Render() string { return report.RenderText(r.Report()) }
 
 // Figure7Timeline is the fetched-cachelines timeline of one workload with
 // and without L2 prefetching.
@@ -203,22 +210,30 @@ func (s *Suite) Figure7() Figure7Result {
 // ID implements Result.
 func (Figure7Result) ID() string { return "figure7" }
 
-// Render plots lines fetched per tick for each workload, prefetch on vs off.
-func (r Figure7Result) Render() string {
-	out := ""
+// Report builds lines fetched per tick for each workload, prefetch on vs
+// off, with the per-workload traffic totals.
+func (r Figure7Result) Report() report.Doc {
+	d := report.New("figure7")
 	for _, tl := range r.Timelines {
-		pl := textplot.NewPlot(
-			fmt.Sprintf("Figure 7 (%s): L2 cachelines fetched per step", tl.Workload),
-			"step", "lines")
-		pl.Rows = 12
-		pl.Add("w. prefetch", indices(len(tl.On)), tl.On)
-		pl.Add("w.o prefetch", indices(len(tl.Off)), tl.Off)
+		t := &report.Timeline{
+			Title:  fmt.Sprintf("Figure 7 (%s): L2 cachelines fetched per step", tl.Workload),
+			XLabel: "step",
+			YLabel: "lines",
+			Rows:   12,
+			Lines: []report.TimelineLine{
+				{Name: "w. prefetch", Values: report.Floats(tl.On)},
+				{Name: "w.o prefetch", Values: report.Floats(tl.Off)},
+			},
+		}
 		sumOn, sumOff := sum(tl.On), sum(tl.Off)
-		out += pl.String() + fmt.Sprintf("total lines: on=%.3g off=%.3g (+%.1f%%)\n\n",
-			sumOn, sumOff, 100*(sumOn/sumOff-1))
+		d.Append(t.Block(), report.NoteBlock(fmt.Sprintf("total lines: on=%.3g off=%.3g (+%.1f%%)\n\n",
+			sumOn, sumOff, 100*(sumOn/sumOff-1))))
 	}
-	return out
+	return *d
 }
+
+// Render implements Result.
+func (r Figure7Result) Render() string { return report.RenderText(r.Report()) }
 
 // Figure8Row is the prefetch study of one workload.
 type Figure8Row struct {
@@ -256,24 +271,24 @@ func (s *Suite) Figure8() Figure8Result {
 // ID implements Result.
 func (Figure8Result) ID() string { return "figure8" }
 
-// Render prints the four prefetch metrics per workload.
-func (r Figure8Result) Render() string {
-	tb := textplot.NewTable("Figure 8: hardware prefetching suitability",
+// Report builds the four prefetch metrics per workload plus the gain bars.
+func (r Figure8Result) Report() report.Doc {
+	tb := report.NewTable("Figure 8: hardware prefetching suitability",
 		"Workload", "Accuracy", "Coverage", "Excess traffic", "Perf gain")
+	bars := report.NewBarChart("Performance gain from prefetching", "%")
 	for _, row := range r.Rows {
-		tb.AddRow(row.Workload,
-			units.Percent(row.Accuracy),
-			units.Percent(row.Coverage),
-			units.Percent(row.ExcessTraffic),
-			units.Percent(row.PerformanceGain))
+		tb.Row(report.Str(row.Workload),
+			report.Pct(row.Accuracy),
+			report.Pct(row.Coverage),
+			report.Pct(row.ExcessTraffic),
+			report.Pct(row.PerformanceGain))
+		bars.AddBar(row.Workload, row.PerformanceGain*100)
 	}
-	bars := textplot.NewBarChart("Performance gain from prefetching")
-	bars.Unit = "%"
-	for _, row := range r.Rows {
-		bars.Add(row.Workload, row.PerformanceGain*100)
-	}
-	return tb.String() + "\n" + bars.String()
+	return *report.New("figure8").Append(tb.Block(), report.Gap(), bars.Block())
 }
+
+// Render implements Result.
+func (r Figure8Result) Render() string { return report.RenderText(r.Report()) }
 
 func contains(xs []string, s string) bool {
 	for _, x := range xs {
@@ -282,14 +297,6 @@ func contains(xs []string, s string) bool {
 		}
 	}
 	return false
-}
-
-func indices(n int) []float64 {
-	xs := make([]float64, n)
-	for i := range xs {
-		xs[i] = float64(i)
-	}
-	return xs
 }
 
 func sum(xs []float64) float64 {

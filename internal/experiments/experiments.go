@@ -1,8 +1,11 @@
 // Package experiments contains one driver per table and figure of the
-// paper's evaluation. Each driver returns a structured result whose Render
-// method prints the same rows/series the paper reports; the cmd/memdis CLI
-// and the root benchmark harness both call these drivers, so the printed
-// artifacts and the benchmarked work are identical.
+// paper's evaluation. Each driver returns a structured result whose Report
+// method reduces the measurements to a typed report.Doc; Render is the text
+// rendering of that document (report.RenderText), byte-identical to the
+// historical output. The cmd/memdis CLI and the root benchmark harness both
+// call these drivers, so the printed artifacts and the benchmarked work are
+// identical — and the same Doc feeds the JSON/CSV renderers and the
+// artifact store.
 //
 // A Suite shares one profiler (and therefore its single-flight profile
 // caches) across drivers so that composite invocations such as `memdis all`
@@ -24,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/pool"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/workloads/registry"
 )
@@ -44,7 +48,10 @@ type Suite struct {
 	Fractions []float64
 	// Headline is the single local-capacity point the Figure 11 and 13
 	// analyses run at (the paper's 50%-50% split by default; scenario
-	// suites install their HeadlineFraction).
+	// suites install their HeadlineFraction). The contract is (0, 1)
+	// exclusive: values outside it fall back to the paper's 0.50 rather
+	// than producing a degenerate capacity split. NewSuiteFor rejects such
+	// specs up front instead of falling back silently.
 	Headline float64
 	// Workers bounds the intra-driver fan-out over workloads, scales,
 	// capacity points and Monte-Carlo runs. Values <= 1 mean sequential.
@@ -75,7 +82,16 @@ func NewSuite(cfg machine.Config) *Suite {
 // NewSuiteFor returns a suite on a scenario's platform with the scenario's
 // capacity sweep installed, so every driver reproduces the paper's protocol
 // on the alternate system.
+//
+// The spec must be valid (scenario.Spec.Validate); in particular its
+// HeadlineFraction must lie in (0, 1) exclusive. NewSuiteFor panics on an
+// invalid spec: every registry scenario validates, so an invalid spec is a
+// caller construction bug, and rejecting it loudly here replaces the old
+// behavior of headline() silently substituting the paper's 0.50 split.
 func NewSuiteFor(sp scenario.Spec) *Suite {
+	if err := sp.Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: NewSuiteFor: %v", err))
+	}
 	s := NewSuite(sp.Platform)
 	s.Fractions = append([]float64(nil), sp.CapacityFractions...)
 	s.Headline = sp.HeadlineFraction
@@ -92,7 +108,10 @@ func (s *Suite) fractions() []float64 {
 }
 
 // headline returns the suite's headline capacity point (the paper's 50%-50%
-// split when unset).
+// split when unset). Out-of-range Headline values — anything outside (0, 1)
+// exclusive — take the same fallback as the zero value; NewSuiteFor rejects
+// them before they reach this silent clamp (see the Headline field contract,
+// pinned by TestHeadlineContract).
 func (s *Suite) headline() float64 {
 	if s.Headline <= 0 || s.Headline >= 1 {
 		return 0.50
@@ -126,7 +145,10 @@ func Default() *Suite { return NewSuite(machine.Default()) }
 type Result interface {
 	// ID is the paper artifact name, e.g. "figure9".
 	ID() string
-	// Render prints the artifact as text.
+	// Report reduces the measurements to the typed artifact document every
+	// renderer (text, JSON, CSV) and the artifact store consume.
+	Report() report.Doc
+	// Render prints the artifact as text: report.RenderText(r.Report()).
 	Render() string
 }
 
@@ -146,37 +168,57 @@ var IDs = []string{
 	"scenarios",
 }
 
-// Run executes the experiment with the given ID.
+// CanonicalID resolves an experiment id or figure alias ("fig9") to its
+// canonical artifact id ("figure9") — the id results report, artifact
+// stores key on, and `-out` files are named after. It is the single alias
+// mechanism: Run resolves through it too.
+func CanonicalID(id string) (string, error) {
+	for _, known := range IDs {
+		if id == known {
+			return known, nil
+		}
+		if rest, ok := strings.CutPrefix(known, "figure"); ok && id == "fig"+rest {
+			return known, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs, ", "))
+}
+
+// Run executes the experiment with the given ID (canonical or alias).
 func (s *Suite) Run(id string) (Result, error) {
-	switch id {
-	case "figure1", "fig1":
+	canon, err := CanonicalID(id)
+	if err != nil {
+		return nil, err
+	}
+	switch canon {
+	case "figure1":
 		return s.Figure1(), nil
 	case "table1":
 		return s.Table1(), nil
 	case "table2":
 		return s.Table2(), nil
-	case "figure5", "fig5":
+	case "figure5":
 		return s.Figure5(), nil
-	case "figure6", "fig6":
+	case "figure6":
 		return s.Figure6(), nil
-	case "figure7", "fig7":
+	case "figure7":
 		return s.Figure7(), nil
-	case "figure8", "fig8":
+	case "figure8":
 		return s.Figure8(), nil
-	case "figure9", "fig9":
+	case "figure9":
 		return s.Figure9(), nil
-	case "figure10", "fig10":
+	case "figure10":
 		return s.Figure10(), nil
-	case "figure11", "fig11":
+	case "figure11":
 		return s.Figure11(), nil
-	case "figure12", "fig12":
+	case "figure12":
 		return s.Figure12(), nil
-	case "figure13", "fig13":
+	case "figure13":
 		return s.Figure13(), nil
 	case "scenarios":
 		return s.Scenarios(), nil
 	}
-	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs, ", "))
+	panic("experiments: CanonicalID returned an unhandled id " + canon) // unreachable
 }
 
 // All runs every experiment in paper order.

@@ -6,7 +6,7 @@ import (
 	"repro/internal/lbench"
 	"repro/internal/link"
 	"repro/internal/pool"
-	"repro/internal/textplot"
+	"repro/internal/report"
 )
 
 // Figure10Row is the sensitivity series of one workload's compute phase on
@@ -51,28 +51,31 @@ func (s *Suite) Figure10() Figure10Result {
 // ID implements Result.
 func (Figure10Result) ID() string { return "figure10" }
 
-// Render prints relative performance per workload and LoI, per panel.
-func (r Figure10Result) Render() string {
-	out := ""
+// Report builds relative performance per workload and LoI, per panel.
+func (r Figure10Result) Report() report.Doc {
+	d := report.New("figure10")
 	for _, panel := range r.Configs {
 		headers := []string{"Workload (p2)"}
 		for _, loi := range r.LoIs {
 			headers = append(headers, fmt.Sprintf("LoI=%d", int(loi*100)))
 		}
-		tb := textplot.NewTable(fmt.Sprintf(
+		tb := report.NewTable(fmt.Sprintf(
 			"Figure 10 (%d%%-%d%% capacity): relative performance under interference",
 			pct(panel.LocalFraction), pct(1-panel.LocalFraction)), headers...)
 		for _, row := range panel.Rows {
-			cells := []any{row.Workload}
+			cells := []report.Cell{report.Str(row.Workload)}
 			for _, v := range row.Relative {
-				cells = append(cells, fmt.Sprintf("%.3f", v))
+				cells = append(cells, report.Fixed(v, 3))
 			}
-			tb.AddRow(cells...)
+			tb.Row(cells...)
 		}
-		out += tb.String() + "\n"
+		d.Append(tb.Block(), report.Gap())
 	}
-	return out
+	return *d
 }
+
+// Render implements Result.
+func (r Figure10Result) Render() string { return report.RenderText(r.Report()) }
 
 // Figure11Result is the three-panel LBench validation figure.
 type Figure11Result struct {
@@ -150,31 +153,35 @@ func (s *Suite) Figure11() Figure11Result {
 // ID implements Result.
 func (Figure11Result) ID() string { return "figure11" }
 
-// Render prints the three panels.
-func (r Figure11Result) Render() string {
-	left := textplot.NewTable("Figure 11 (left): LBench intensity calibration",
+// Report builds the three panels.
+func (r Figure11Result) Report() report.Doc {
+	left := report.NewTable("Figure 11 (left): LBench intensity calibration",
 		"Configured %", "Measured LoI (1 thread)", "Measured LoI (2 threads)")
 	for i, c := range r.ConfiguredPct {
-		m1 := "-"
+		m1 := report.Str("-")
 		if r.Measured1T[i] > 0 {
-			m1 = fmt.Sprintf("%.1f%%", r.Measured1T[i])
+			m1 = report.FixedSuffix(r.Measured1T[i], 1, "%")
 		}
-		left.AddRow(fmt.Sprintf("%.0f%%", c), m1, fmt.Sprintf("%.1f%%", r.Measured2T[i]))
+		left.Row(report.FixedSuffix(c, 0, "%"), m1, report.FixedSuffix(r.Measured2T[i], 1, "%"))
 	}
 
-	mid := textplot.NewTable("Figure 11 (middle): LBench IC vs saturating PCM counter (12 threads)",
+	mid := report.NewTable("Figure 11 (middle): LBench IC vs saturating PCM counter (12 threads)",
 		"flops/element", "IC (LBench)", "UPI traffic GB/s (PCM)")
 	for i, f := range r.FlopsPerElement {
-		mid.AddRow(f, fmt.Sprintf("%.2f", r.IC[i]), fmt.Sprintf("%.1f", r.PCMTrafficGBs[i]))
+		mid.Row(report.Int(f), report.Fixed(r.IC[i], 2), report.Fixed(r.PCMTrafficGBs[i], 1))
 	}
 
-	right := textplot.NewTable(
+	right := report.NewTable(
 		fmt.Sprintf("Figure 11 (right): interference coefficient induced by applications (%d%% pooling)",
 			pct(r.AppPooled)),
 		"Application", "IC mean", "IC min", "IC max")
 	for i, a := range r.Apps {
-		right.AddRow(a, fmt.Sprintf("%.3f", r.AppIC[i]),
-			fmt.Sprintf("%.3f", r.AppICLo[i]), fmt.Sprintf("%.3f", r.AppICHi[i]))
+		right.Row(report.Str(a), report.Fixed(r.AppIC[i], 3),
+			report.Fixed(r.AppICLo[i], 3), report.Fixed(r.AppICHi[i], 3))
 	}
-	return left.String() + "\n" + mid.String() + "\n" + right.String()
+	return *report.New("figure11").Append(
+		left.Block(), report.Gap(), mid.Block(), report.Gap(), right.Block())
 }
+
+// Render implements Result.
+func (r Figure11Result) Render() string { return report.RenderText(r.Report()) }

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pool"
-	"repro/internal/textplot"
+	"repro/internal/report"
 	"repro/internal/units"
 )
 
@@ -63,21 +63,24 @@ func (s *Suite) Figure9() Figure9Result {
 // ID implements Result.
 func (Figure9Result) ID() string { return "figure9" }
 
-// Render prints one table per capacity panel with the two reference lines.
-func (r Figure9Result) Render() string {
-	out := ""
+// Report builds one bar chart and table per capacity panel with the two
+// reference lines.
+func (r Figure9Result) Report() report.Doc {
+	d := report.New("figure9")
 	for _, panel := range r.Configs {
 		title := fmt.Sprintf("Figure 9 (%d%%-%d%% local-remote capacity): remote access ratio [R_cap=%s R_BW=%s]",
 			pct(panel.LocalFraction), pct(1-panel.LocalFraction),
 			units.Percent(panel.RCap), units.Percent(panel.RBW))
-		bars := textplot.NewBarChart(title)
-		bars.Unit = "%"
-		tb := textplot.NewTable("", "Phase", "%RemoteAccess", "Verdict")
+		bars := report.NewBarChart(title, "%")
+		tb := report.NewTable("", "Phase", "%RemoteAccess", "Verdict")
 		for _, ph := range panel.Phases {
-			bars.Add(ph.Label, ph.RemoteAccessRatio*100)
-			tb.AddRow(ph.Label, units.Percent(ph.RemoteAccessRatio), ph.Verdict.String())
+			bars.AddBar(ph.Label, ph.RemoteAccessRatio*100)
+			tb.Row(report.Str(ph.Label), report.Pct(ph.RemoteAccessRatio), report.Str(ph.Verdict.String()))
 		}
-		out += bars.String() + tb.String() + "\n"
+		d.Append(bars.Block(), tb.Block(), report.Gap())
 	}
-	return out
+	return *d
 }
+
+// Render implements Result.
+func (r Figure9Result) Render() string { return report.RenderText(r.Report()) }

@@ -6,9 +6,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/pool"
+	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sched"
-	"repro/internal/textplot"
 	"repro/internal/units"
 )
 
@@ -145,11 +145,13 @@ func (r ScenariosResult) headers(label string) []string {
 	return hs
 }
 
-// Render prints the platform inventory and one side-by-side table per
+// Report builds the platform inventory and one side-by-side table per
 // analysis: remote access vs the references, interference sensitivity and
-// induced coefficient, and the scheduler comparison.
-func (r ScenariosResult) Render() string {
-	pt := textplot.NewTable("Cross-scenario platform inventory",
+// induced coefficient, and the scheduler comparison. Composite cells carry
+// their numeric payloads in Vals, so machine consumers need not re-parse
+// the "97.5% balanced"-style text.
+func (r ScenariosResult) Report() report.Doc {
+	pt := report.NewTable("Cross-scenario platform inventory",
 		"Scenario", "Link data", "Link peak", "Latency", "Overhead", "R_BW", "Capacity sweep (local %)")
 	for si, sp := range r.Specs {
 		sweep := ""
@@ -159,35 +161,45 @@ func (r ScenariosResult) Render() string {
 			}
 			sweep += fmt.Sprintf("%d", pct(f))
 		}
-		pt.AddRow(sp.Name,
-			units.Bandwidth(sp.Platform.Link.DataBandwidth),
-			units.Bandwidth(sp.Platform.Link.PeakTraffic),
-			units.Seconds(sp.Platform.Link.Latency),
-			fmt.Sprintf("%.2fx", sp.Platform.Link.Overhead),
-			units.Percent(r.RBW[si]),
-			sweep)
+		pt.Row(report.Str(sp.Name),
+			report.Bandwidth(sp.Platform.Link.DataBandwidth),
+			report.Bandwidth(sp.Platform.Link.PeakTraffic),
+			report.Seconds(sp.Platform.Link.Latency),
+			report.FixedSuffix(sp.Platform.Link.Overhead, 2, "x"),
+			report.Pct(r.RBW[si]),
+			report.Str(sweep, sp.CapacityFractions...))
 	}
 
-	ra := textplot.NewTable(
+	ra := report.NewTable(
 		"Remote access ratio of the compute phase (verdict vs the scenario's R_cap..R_BW band)",
 		r.headers("Workload (p2)")...)
-	sens := textplot.NewTable(
+	sens := report.NewTable(
 		"Interference: relative perf @LoI=50% and induced IC",
 		r.headers("Workload")...)
-	sch := textplot.NewTable(
+	sch := report.NewTable(
 		fmt.Sprintf("Interference-aware scheduling: mean speedup over %d runs (P75 cut)", r.Runs),
 		r.headers("Workload")...)
 	for wi, w := range r.Workloads {
-		raRow, sensRow, schRow := []any{w}, []any{w}, []any{w}
+		raRow := []report.Cell{report.Str(w)}
+		sensRow := []report.Cell{report.Str(w)}
+		schRow := []report.Cell{report.Str(w)}
 		for si := range r.Specs {
 			c := r.Cells[wi][si]
-			raRow = append(raRow, fmt.Sprintf("%s %s", units.Percent(c.RemoteAccess), c.Verdict))
-			sensRow = append(sensRow, fmt.Sprintf("%.3f ic=%.2f", c.RelPerf50, c.ICMean))
-			schRow = append(schRow, fmt.Sprintf("%s (%s)", units.Percent(c.MeanSpeedup), units.Percent(c.P75Reduction)))
+			raRow = append(raRow, report.Str(
+				fmt.Sprintf("%s %s", units.Percent(c.RemoteAccess), c.Verdict), c.RemoteAccess))
+			sensRow = append(sensRow, report.Str(
+				fmt.Sprintf("%.3f ic=%.2f", c.RelPerf50, c.ICMean), c.RelPerf50, c.ICMean))
+			schRow = append(schRow, report.Str(
+				fmt.Sprintf("%s (%s)", units.Percent(c.MeanSpeedup), units.Percent(c.P75Reduction)),
+				c.MeanSpeedup, c.P75Reduction))
 		}
-		ra.AddRow(raRow...)
-		sens.AddRow(sensRow...)
-		sch.AddRow(schRow...)
+		ra.Row(raRow...)
+		sens.Row(sensRow...)
+		sch.Row(schRow...)
 	}
-	return pt.String() + "\n" + ra.String() + "\n" + sens.String() + "\n" + sch.String()
+	return *report.New("scenarios").Append(
+		pt.Block(), report.Gap(), ra.Block(), report.Gap(), sens.Block(), report.Gap(), sch.Block())
 }
+
+// Render implements Result.
+func (r ScenariosResult) Render() string { return report.RenderText(r.Report()) }

@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/pool"
-	"repro/internal/textplot"
+	"repro/internal/report"
 	"repro/internal/top500"
 	"repro/internal/workloads/registry"
 )
@@ -24,22 +24,26 @@ func (s *Suite) Figure1() Figure1Result {
 // ID implements Result.
 func (Figure1Result) ID() string { return "figure1" }
 
-// Render prints the capacity/bandwidth evolution table and trend plot.
-func (r Figure1Result) Render() string {
-	tb := textplot.NewTable("Figure 1: memory evolution of leadership supercomputers",
+// Report builds the capacity/bandwidth evolution table and trend series.
+func (r Figure1Result) Report() report.Doc {
+	tb := report.NewTable("Figure 1: memory evolution of leadership supercomputers",
 		"Year", "System", "Mem/node (GB)", "HBM/node (GB)", "HBM BW/node (TB/s)")
 	var xs, caps, bws []float64
 	for _, s := range r.Systems {
-		tb.AddRow(s.Year, s.Name, s.TotalPerNodeGB(), s.HBMPerNodeGB, s.HBMBandwidthTBs*1000)
+		tb.Row(report.Int(s.Year), report.Str(s.Name), report.Num(s.TotalPerNodeGB()),
+			report.Num(s.HBMPerNodeGB), report.Num(s.HBMBandwidthTBs*1000))
 		xs = append(xs, float64(s.Year))
 		caps = append(caps, s.TotalPerNodeGB())
 		bws = append(bws, s.HBMBandwidthTBs*1000)
 	}
-	pl := textplot.NewPlot("Per-node memory capacity and bandwidth vs year", "year", "GB | GB/s")
-	pl.Add("capacity GB/node", xs, caps)
-	pl.Add("HBM BW GB/s/node", xs, bws)
-	return tb.String() + "\n" + pl.String()
+	pl := report.NewLinePlot("Per-node memory capacity and bandwidth vs year", "year", "GB | GB/s")
+	pl.AddLine("capacity GB/node", xs, caps)
+	pl.AddLine("HBM BW GB/s/node", xs, bws)
+	return *report.New("figure1").Append(tb.Block(), report.Gap(), pl.Block())
 }
+
+// Render implements Result.
+func (r Figure1Result) Render() string { return report.RenderText(r.Report()) }
 
 // Table1Row is one system of the paper's Table 1 with estimated costs.
 type Table1Row struct {
@@ -79,24 +83,29 @@ func (s *Suite) Table1() Table1Result {
 // ID implements Result.
 func (Table1Result) ID() string { return "table1" }
 
-// Render prints the Table 1 rows.
-func (r Table1Result) Render() string {
-	tb := textplot.NewTable("Table 1: Top-10 memory configuration and estimated cost",
+// Report builds the Table 1 rows.
+func (r Table1Result) Report() report.Doc {
+	tb := report.NewTable("Table 1: Top-10 memory configuration and estimated cost",
 		"Rank", "System", "DDR/node GB", "HBM/node GB", "HBM BW/node TB/s", "Nodes", "Est. DDR $M", "Est. HBM $M")
 	for _, row := range r.Rows {
 		s := row.System
-		ddr := "-"
+		ddr := report.Str("-")
 		if row.DDRCostM > 0 {
-			ddr = fmt.Sprintf("%.1f", row.DDRCostM)
+			ddr = report.Fixed(row.DDRCostM, 1)
 		}
-		hbm := "-"
+		hbm := report.Str("-")
 		if row.HBMCostM > 0 {
-			hbm = fmt.Sprintf("%.1f", row.HBMCostM)
+			hbm = report.Fixed(row.HBMCostM, 1)
 		}
-		tb.AddRow(s.Rank, s.Name, s.DDRPerNodeGB, s.HBMPerNodeGB, s.HBMBandwidthTBs, s.Nodes, ddr, hbm)
+		tb.Row(report.Int(s.Rank), report.Str(s.Name), report.Num(s.DDRPerNodeGB),
+			report.Num(s.HBMPerNodeGB), report.Num(s.HBMBandwidthTBs), report.Int(s.Nodes),
+			ddr, hbm)
 	}
-	return tb.String()
+	return *report.New("table1").Append(tb.Block())
 }
+
+// Render implements Result.
+func (r Table1Result) Render() string { return report.RenderText(r.Report()) }
 
 // Table2Result is the evaluated-workload inventory.
 type Table2Result struct {
@@ -122,21 +131,26 @@ func (s *Suite) Table2() Table2Result {
 // ID implements Result.
 func (Table2Result) ID() string { return "table2" }
 
-// Render prints the workload table with measured footprint ratios.
-func (r Table2Result) Render() string {
-	tb := textplot.NewTable("Table 2: evaluated workloads (three inputs of ~1:2:4 memory usage)",
+// Report builds the workload table with measured footprint ratios.
+func (r Table2Result) Report() report.Doc {
+	tb := report.NewTable("Table 2: evaluated workloads (three inputs of ~1:2:4 memory usage)",
 		"Application", "Description", "Parallelization", "Inputs", "Footprint x1/x2/x4 (MiB)", "Ratio")
 	for i, e := range r.Entries {
 		fp := r.Footprints[i]
 		mib := func(b uint64) float64 { return float64(b) / (1 << 20) }
-		ratio := "-"
+		ratio := report.Str("-")
 		if fp[0] > 0 {
-			ratio = fmt.Sprintf("1:%.1f:%.1f", float64(fp[1])/float64(fp[0]), float64(fp[2])/float64(fp[0]))
+			r2, r4 := float64(fp[1])/float64(fp[0]), float64(fp[2])/float64(fp[0])
+			ratio = report.Str(fmt.Sprintf("1:%.1f:%.1f", r2, r4), r2, r4)
 		}
-		tb.AddRow(e.Name, e.Description, e.Parallelization,
-			strings.Join(e.Inputs[:], "; "),
-			fmt.Sprintf("%.1f/%.1f/%.1f", mib(fp[0]), mib(fp[1]), mib(fp[2])),
+		tb.Row(report.Str(e.Name), report.Str(e.Description), report.Str(e.Parallelization),
+			report.Str(strings.Join(e.Inputs[:], "; ")),
+			report.Str(fmt.Sprintf("%.1f/%.1f/%.1f", mib(fp[0]), mib(fp[1]), mib(fp[2])),
+				mib(fp[0]), mib(fp[1]), mib(fp[2])),
 			ratio)
 	}
-	return tb.String()
+	return *report.New("table2").Append(tb.Block())
 }
+
+// Render implements Result.
+func (r Table2Result) Render() string { return report.RenderText(r.Report()) }

@@ -163,10 +163,10 @@ func TestGreedyExactAgreementTable(t *testing.T) {
 		{"empty input", nil, 8 * ps, nil},
 		{"zero capacity", []Object{obj("a", ps, 10)}, 0, nil},
 		{"single object fits", []Object{obj("a", ps, 10)}, ps, []string{"a"}},
-		{"single object too big", []Object{obj("a", 2 * ps, 10)}, ps, nil},
+		{"single object too big", []Object{obj("a", 2*ps, 10)}, ps, nil},
 		{
 			"everything fits",
-			[]Object{obj("a", ps, 5), obj("b", 2 * ps, 50), obj("c", ps, 500)},
+			[]Object{obj("a", ps, 5), obj("b", 2*ps, 50), obj("c", ps, 500)},
 			4 * ps,
 			[]string{"a", "b", "c"},
 		},
@@ -178,7 +178,7 @@ func TestGreedyExactAgreementTable(t *testing.T) {
 		},
 		{
 			"dominant hot object crowds out the rest",
-			[]Object{obj("hot-big", 3 * ps, 9000), obj("cold-a", 2 * ps, 10), obj("cold-b", 2 * ps, 10)},
+			[]Object{obj("hot-big", 3*ps, 9000), obj("cold-a", 2*ps, 10), obj("cold-b", 2*ps, 10)},
 			3 * ps,
 			[]string{"hot-big"},
 		},

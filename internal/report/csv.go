@@ -1,0 +1,123 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RenderCSV renders the document as sectioned CSV: one section per data
+// block, introduced by a `# block N: ...` comment record (read them back
+// with encoding/csv's Comment = '#'). Numeric cells emit their raw values
+// in shortest round-trippable form — "NaN"/"+Inf"/"-Inf" for non-finite
+// floats, all accepted by strconv.ParseFloat — never the human-formatted
+// text, so every row stays machine-parseable. Note blocks are presentation
+// glue and are skipped.
+func RenderCSV(d Doc) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	comment := func(format string, args ...any) {
+		// A comment is a plain line, not a CSV record: csv.Writer would
+		// quote a leading '#' field containing commas.
+		w.Flush()
+		fmt.Fprintf(&b, "# "+format+"\n", args...)
+	}
+	comment("artifact: %s", d.Artifact)
+	if d.Platform != "" {
+		comment("platform: %s", d.Platform)
+	}
+	for i, bl := range d.Blocks {
+		switch {
+		case bl.Table != nil:
+			t := bl.Table
+			comment("block %d: table %q", i, t.Title)
+			if len(t.Headers) > 0 {
+				if err := w.Write(t.Headers); err != nil {
+					return "", err
+				}
+			}
+			for _, row := range t.Rows {
+				rec := make([]string, len(row))
+				for j, c := range row {
+					rec[j] = c.Value()
+				}
+				if err := w.Write(rec); err != nil {
+					return "", err
+				}
+			}
+		case bl.Series != nil:
+			s := bl.Series
+			if s.Kind == Bar {
+				comment("block %d: bar series %q (unit %q)", i, s.Title, s.Unit)
+				if err := w.Write([]string{"label", "value"}); err != nil {
+					return "", err
+				}
+				// Truncate to the paired length, mirroring the text
+				// renderer's guard against malformed parsed documents.
+				n := len(s.Labels)
+				if len(s.Values) < n {
+					n = len(s.Values)
+				}
+				for j := 0; j < n; j++ {
+					if err := w.Write([]string{s.Labels[j], formatFloat(s.Values[j])}); err != nil {
+						return "", err
+					}
+				}
+				break
+			}
+			comment("block %d: line series %q (x: %s, y: %s)", i, s.Title, s.XLabel, s.YLabel)
+			if err := w.Write([]string{"line", "x", "y"}); err != nil {
+				return "", err
+			}
+			for _, l := range s.Lines {
+				n := len(l.X)
+				if len(l.Y) < n {
+					n = len(l.Y)
+				}
+				for j := 0; j < n; j++ {
+					if err := w.Write([]string{l.Name, formatFloat(l.X[j]), formatFloat(l.Y[j])}); err != nil {
+						return "", err
+					}
+				}
+			}
+		case bl.Timeline != nil:
+			t := bl.Timeline
+			comment("block %d: timeline %q", i, t.Title)
+			if err := w.Write([]string{"line", "step", "value"}); err != nil {
+				return "", err
+			}
+			for _, l := range t.Lines {
+				for j, v := range l.Values {
+					if err := w.Write([]string{l.Name, strconv.Itoa(j), formatFloat(v)}); err != nil {
+						return "", err
+					}
+				}
+			}
+		case bl.Dist != nil:
+			ds := bl.Dist
+			comment("block %d: dist", i)
+			if err := w.Write([]string{"label", "min", "q1", "median", "q3", "max"}); err != nil {
+				return "", err
+			}
+			rec := []string{strings.TrimRight(ds.Label, " "),
+				formatFloat(ds.Min), formatFloat(ds.Q1), formatFloat(ds.Median),
+				formatFloat(ds.Q3), formatFloat(ds.Max)}
+			if err := w.Write(rec); err != nil {
+				return "", err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("report: render %s as csv: %w", d.Artifact, err)
+	}
+	return b.String(), nil
+}
+
+// formatFloat is the machine form of a float value: shortest representation
+// that round-trips through strconv.ParseFloat, including the non-finite
+// spellings ParseFloat accepts.
+func formatFloat(f Float) string {
+	return strconv.FormatFloat(float64(f), 'g', -1, 64)
+}

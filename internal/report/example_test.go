@@ -1,0 +1,61 @@
+package report_test
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// ExampleRenderText builds a small document by hand and renders it the way
+// the CLI prints artifacts.
+func ExampleRenderText() {
+	bars := report.NewBarChart("Remote access ratio", "%")
+	bars.AddBar("HPL", 46.2)
+	bars.AddBar("XSBench", 5.1)
+	d := report.New("demo").Append(bars.Block(), report.NoteBlock("R_cap=50.0%\n"))
+	fmt.Print(report.RenderText(*d))
+	// Output:
+	// Remote access ratio
+	// HPL     |################################################## 46.2%
+	// XSBench |##### 5.1%
+	// R_cap=50.0%
+}
+
+// ExampleRenderJSON shows the machine-readable form of the same data: the
+// cells keep their raw values, and the output unmarshals back into an
+// equal Doc (see ParseJSON).
+func ExampleRenderJSON() {
+	tb := report.NewTable("", "Phase", "%RemoteAccess")
+	tb.Row(report.Str("HPL-p2"), report.Pct(0.462))
+	out, err := report.RenderJSON(*report.New("figure9").Append(tb.Block()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out)
+	// Output:
+	// {
+	//   "artifact": "figure9",
+	//   "blocks": [
+	//     {
+	//       "table": {
+	//         "headers": [
+	//           "Phase",
+	//           "%RemoteAccess"
+	//         ],
+	//         "rows": [
+	//           [
+	//             {
+	//               "k": "str",
+	//               "s": "HPL-p2"
+	//             },
+	//             {
+	//               "k": "pct",
+	//               "v": 0.462
+	//             }
+	//           ]
+	//         ]
+	//       }
+	//     }
+	//   ]
+	// }
+}

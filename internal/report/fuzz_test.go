@@ -1,0 +1,81 @@
+package report
+
+import (
+	"encoding/csv"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzCellFormat fuzzes the cell formatter — the single code path every
+// renderer's numeric output flows through — against NaN, the infinities,
+// huge and subnormal floats, and arbitrary precisions:
+//
+//   - Text() never emits an empty cell or an embedded newline, which would
+//     desynchronize table rows;
+//   - Value() of a float-kind cell always parses back via
+//     strconv.ParseFloat and recovers the exact payload (bit-equal, or
+//     both NaN) — the CSV contract;
+//   - a CSV document carrying the cell always reads back with
+//     encoding/csv, with the payload intact in the expected field.
+//
+// `go test` replays the seed corpus; `go test -fuzz FuzzCellFormat
+// ./internal/report` explores new inputs.
+func FuzzCellFormat(f *testing.F) {
+	f.Add(0.0, 0, uint8(0))
+	f.Add(math.NaN(), 3, uint8(1))
+	f.Add(math.Inf(1), 17, uint8(2))
+	f.Add(math.Inf(-1), -2, uint8(3))
+	f.Add(1.7976931348623157e308, 4, uint8(4)) // MaxFloat64
+	f.Add(5e-324, 1, uint8(5))                 // smallest subnormal
+	f.Add(-0.0, 2, uint8(0))
+	f.Add(5400.0000000000005, 3, uint8(1))
+	f.Fuzz(func(t *testing.T, v float64, prec int, kindSel uint8) {
+		if prec < -1 || prec > 64 {
+			prec = int(uint(prec) % 64)
+		}
+		floatCells := []Cell{
+			Num(v),
+			Fixed(v, prec),
+			FixedSuffix(v, prec, "%"),
+			Pct(v),
+			Flops(v),
+			Bandwidth(v),
+			Seconds(v),
+		}
+		c := floatCells[int(kindSel)%len(floatCells)]
+
+		if text := c.Text(); text == "" || strings.ContainsAny(text, "\n\r") {
+			t.Fatalf("cell %+v: Text() = %q (empty or multi-line)", c, text)
+		}
+		val := c.Value()
+		got, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("cell %+v: Value() = %q does not parse: %v", c, val, err)
+		}
+		if got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+			t.Fatalf("cell %+v: Value() = %q parsed back to %v, want %v", c, val, got, v)
+		}
+
+		// The cell embedded in a rendered CSV document stays parseable and
+		// lands intact in its field.
+		tb := NewTable("fuzz", "label", "value")
+		tb.Row(Str("w"), c)
+		out, err := RenderCSV(*New("fuzz").Append(tb.Block()))
+		if err != nil {
+			t.Fatalf("RenderCSV: %v", err)
+		}
+		rd := csv.NewReader(strings.NewReader(out))
+		rd.Comment = '#'
+		rd.FieldsPerRecord = -1
+		recs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("CSV with cell %+v does not parse: %v\n%s", c, err, out)
+		}
+		last := recs[len(recs)-1]
+		if len(last) != 2 || last[1] != val {
+			t.Fatalf("CSV row %v: want value field %q", last, val)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RenderJSON renders the document as indented JSON with a trailing newline.
+// The encoding is lossless: ParseJSON (or a plain json.Unmarshal into a
+// Doc) recovers an equal document, including non-finite float payloads,
+// which encode as the strings "NaN"/"+Inf"/"-Inf".
+func RenderJSON(d Doc) (string, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: render %s as json: %w", d.Artifact, err)
+	}
+	return string(b) + "\n", nil
+}
+
+// ParseJSON is the inverse of RenderJSON.
+func ParseJSON(s string) (Doc, error) {
+	var d Doc
+	if err := json.Unmarshal([]byte(s), &d); err != nil {
+		return Doc{}, fmt.Errorf("report: parse doc json: %w", err)
+	}
+	return d, nil
+}

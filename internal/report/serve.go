@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// contentTypes maps formats to HTTP media types.
+var contentTypes = map[Format]string{
+	FormatText: "text/plain; charset=utf-8",
+	FormatJSON: "application/json",
+	FormatCSV:  "text/csv; charset=utf-8",
+}
+
+// Handler serves the store over HTTP — the capstone of the pipeline: any
+// artifact, any platform, any format, straight from the memoized store.
+//
+//	GET /                             index of artifact URLs
+//	GET /artifacts/figure9.json       one artifact (extension picks format)
+//	GET /artifacts/figure9.csv?platform=cxl-gen5
+//
+// artifacts is the id list the index advertises; platform defaults to
+// defaultPlatform when the query omits it. Unknown artifacts or platforms
+// surface the source's error as 404.
+func (st *Store) Handler(artifacts []string, defaultPlatform string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "artifact store (formats: txt, json, csv; ?platform=<scenario>, default %s)\n", defaultPlatform)
+		for _, id := range artifacts {
+			for _, f := range Formats {
+				fmt.Fprintf(w, "/artifacts/%s.%s\n", id, f.Ext())
+			}
+		}
+	})
+	mux.HandleFunc("/artifacts/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/artifacts/")
+		dot := strings.LastIndexByte(name, '.')
+		if dot < 0 {
+			http.Error(w, "want /artifacts/<id>.<txt|json|csv>", http.StatusBadRequest)
+			return
+		}
+		id, ext := name[:dot], name[dot+1:]
+		var format Format
+		switch ext {
+		case "txt":
+			format = FormatText
+		case "json":
+			format = FormatJSON
+		case "csv":
+			format = FormatCSV
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want txt, json or csv)", ext), http.StatusBadRequest)
+			return
+		}
+		platform := r.URL.Query().Get("platform")
+		if platform == "" {
+			platform = defaultPlatform
+		}
+		out, err := st.Artifact(platform, id, format)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", contentTypes[format])
+		fmt.Fprint(w, out)
+	})
+	return mux
+}

@@ -1,0 +1,168 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Source computes the document of one artifact on one platform. It is the
+// seam between measurement and presentation: the experiment suites sit
+// behind a Source, the Store and every renderer sit in front of it.
+type Source func(platform, artifact string) (Doc, error)
+
+// Store memoizes artifact documents and their renders: each (platform,
+// artifact) document is computed once and each (platform, artifact, format)
+// render is produced once, no matter how many CLI writes or HTTP requests
+// ask for it.
+type Store struct {
+	src Source
+
+	// mu guards docs and is held across source computation, serializing
+	// document builds. renderMu guards rendered and is never held across
+	// computation, so cached renders stay instant while a cold document
+	// computes. Lock order when both are needed: mu, then renderMu.
+	mu       sync.Mutex
+	docs     map[[2]string]docEntry
+	renderMu sync.Mutex
+	rendered map[[3]string]string
+}
+
+// docEntry is one memoized document plus its generation: Put bumps the
+// generation, and an in-flight render only caches if the document it
+// rendered is still current, so Doc and Artifact never disagree.
+type docEntry struct {
+	doc Doc
+	gen uint64
+}
+
+// NewStore returns an empty store over the given source.
+func NewStore(src Source) *Store {
+	return &Store{
+		src:      src,
+		docs:     map[[2]string]docEntry{},
+		rendered: map[[3]string]string{},
+	}
+}
+
+// Doc returns the memoized document of an artifact on a platform, computing
+// it on first use and stamping the platform into the document. Source
+// errors are not memoized: unknown ids and platforms fail fast in the
+// source, and an unbounded error cache keyed by request-controlled strings
+// would let a misbehaving client grow the store without limit.
+//
+// Computation happens under the store lock: concurrent requests for
+// different artifacts serialize, which keeps one suite's drivers from
+// running concurrently with each other (the suites parallelize internally).
+func (st *Store) Doc(platform, artifact string) (Doc, error) {
+	d, _, err := st.doc(platform, artifact)
+	return d, err
+}
+
+// doc is Doc plus the entry's generation for Artifact's cache guard.
+func (st *Store) doc(platform, artifact string) (Doc, uint64, error) {
+	key := [2]string{platform, artifact}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.docs[key]; ok {
+		return e.doc, e.gen, nil
+	}
+	d, err := st.src(platform, artifact)
+	if err != nil {
+		return Doc{}, 0, err
+	}
+	if d.Platform == "" {
+		d.Platform = platform
+	}
+	st.docs[key] = docEntry{doc: d, gen: 1}
+	return d, 1, nil
+}
+
+// Put seeds the store with a precomputed document keyed by the given
+// platform and the doc's artifact id — the hook for parallel sweeps
+// (Suite.AllParallel) that compute many documents at once and hand them to
+// the store for rendering and serving.
+func (st *Store) Put(platform string, d Doc) {
+	if d.Platform == "" {
+		d.Platform = platform
+	}
+	key := [2]string{platform, d.Artifact}
+	st.mu.Lock()
+	st.docs[key] = docEntry{doc: d, gen: st.docs[key].gen + 1}
+	// Drop any renders of a previously stored document so Doc and Artifact
+	// never disagree after a re-Put.
+	st.renderMu.Lock()
+	for _, f := range Formats {
+		delete(st.rendered, [3]string{platform, d.Artifact, string(f)})
+	}
+	st.renderMu.Unlock()
+	st.mu.Unlock()
+}
+
+// Artifact returns the memoized render of an artifact on a platform in a
+// format. A cached render is returned without touching the document path,
+// so cold computations of other artifacts never block cached responses.
+func (st *Store) Artifact(platform, artifact string, f Format) (string, error) {
+	key := [3]string{platform, artifact, string(f)}
+	st.renderMu.Lock()
+	out, ok := st.rendered[key]
+	st.renderMu.Unlock()
+	if ok {
+		return out, nil
+	}
+	d, gen, err := st.doc(platform, artifact)
+	if err != nil {
+		return "", err
+	}
+	out, err = Render(d, f)
+	if err != nil {
+		return "", err
+	}
+	st.mu.Lock()
+	// Cache only if the document we rendered is still the stored one — a
+	// concurrent Put may have replaced it while we rendered.
+	if st.docs[[2]string{platform, artifact}].gen == gen {
+		st.renderMu.Lock()
+		st.rendered[key] = out
+		st.renderMu.Unlock()
+	}
+	st.mu.Unlock()
+	return out, nil
+}
+
+// WriteDir renders each artifact in each format and writes the files into
+// dir as <artifact>.<ext> (figure9.txt, figure9.json, figure9.csv, ...),
+// creating dir if needed. It returns the written file paths in order.
+func (st *Store) WriteDir(dir, platform string, artifacts []string, formats ...Format) ([]string, error) {
+	if len(formats) == 0 {
+		formats = Formats
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, id := range artifacts {
+		for _, f := range formats {
+			out, err := st.Artifact(platform, id, f)
+			if err != nil {
+				return paths, err
+			}
+			p := filepath.Join(dir, id+"."+f.Ext())
+			if err := os.WriteFile(p, []byte(out), 0o644); err != nil {
+				return paths, err
+			}
+			paths = append(paths, p)
+		}
+	}
+	return paths, nil
+}
+
+// Cached reports how many documents and renders the store currently holds
+// (for tests and diagnostics).
+func (st *Store) Cached() (docs, renders int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.renderMu.Lock()
+	defer st.renderMu.Unlock()
+	return len(st.docs), len(st.rendered)
+}

@@ -109,6 +109,11 @@ func trimFloat(v float64) string {
 	return fmt.Sprintf("%.3g", v)
 }
 
+// TrimFloat is the raw-float64 cell rule AddRow applies: integral values
+// print plainly, everything else with three significant digits. Exported so
+// the report package's units-aware cells reproduce table cells exactly.
+func TrimFloat(v float64) string { return trimFloat(v) }
+
 // BarChart renders labeled horizontal bars scaled to a maximum width.
 type BarChart struct {
 	Title string

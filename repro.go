@@ -32,7 +32,9 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/placement"
+	"repro/internal/report"
 	"repro/internal/roofline"
 	"repro/internal/scenario"
 	"repro/internal/sched"
@@ -294,7 +297,101 @@ func NewExperiments(p Platform) *ExperimentSuite { return experiments.NewSuite(p
 // -platform flag does). Use this — not NewExperiments(sc.Platform), which
 // would drop the scenario's capacity protocol — when starting from a
 // Scenario.
+//
+// The scenario must be valid (every registered scenario is); hand-built
+// specs with, e.g., a HeadlineFraction outside (0, 1) panic here with the
+// validation error instead of silently running at the paper's 50% split.
 func NewExperimentsFor(sc Scenario) *ExperimentSuite { return experiments.NewSuiteFor(sc) }
 
 // ExperimentIDs lists every table/figure id in paper order.
 func ExperimentIDs() []string { return append([]string(nil), experiments.IDs...) }
+
+// ExperimentResult is one experiment's outcome: its artifact id, its typed
+// document (Report) and its text rendering (Render, which is
+// RenderText(Report())).
+type ExperimentResult = experiments.Result
+
+// Doc is the typed artifact document every experiment reduces to: an
+// ordered list of Table/Series/Timeline/Dist/Note blocks with units-aware
+// cells. The renderers below and the artifact store consume Docs, so the
+// same measurements serve text reports, JSON APIs and CSV exports.
+type Doc = report.Doc
+
+// ArtifactFormat names one of the pluggable renderers ("text", "json",
+// "csv").
+type ArtifactFormat = report.Format
+
+// Renderer formats.
+const (
+	FormatText = report.FormatText
+	FormatJSON = report.FormatJSON
+	FormatCSV  = report.FormatCSV
+)
+
+// RenderText renders a document as plain text, byte-identical to the
+// artifact's historical Render() output.
+func RenderText(d Doc) string { return report.RenderText(d) }
+
+// RenderJSON renders a document as lossless, schema-stable JSON: the
+// output unmarshals back into an equal Doc.
+func RenderJSON(d Doc) (string, error) { return report.RenderJSON(d) }
+
+// RenderCSV renders a document as sectioned, machine-parseable CSV with
+// raw (unformatted) numeric values.
+func RenderCSV(d Doc) (string, error) { return report.RenderCSV(d) }
+
+// RenderArtifact renders a document in the given format.
+func RenderArtifact(d Doc, f ArtifactFormat) (string, error) { return report.Render(d, f) }
+
+// ArtifactSource computes the document of one artifact on one platform —
+// the seam an ArtifactStore sits in front of.
+type ArtifactSource = report.Source
+
+// ArtifactStore memoizes artifact documents and renders per (platform,
+// artifact, format), writes artifact directories, and serves artifacts
+// over HTTP (Handler).
+type ArtifactStore = report.Store
+
+// NewArtifactStore returns an empty store over the given source.
+func NewArtifactStore(src ArtifactSource) *ArtifactStore { return report.NewStore(src) }
+
+// NewExperimentSource adapts the experiment suites to an ArtifactSource:
+// one suite per requested scenario (built with NewExperimentsFor, so each
+// uses its scenario's capacity protocol), documents computed on demand.
+// The returned source is safe for concurrent use, though the store it
+// usually sits behind serializes document computation anyway.
+//
+// Only canonical artifact ids (ExperimentIDs) are accepted: an alias like
+// "fig9" errors with a pointer to the canonical id rather than computing
+// and caching a duplicate document under a key that diverges from the
+// document's Artifact field.
+func NewExperimentSource() ArtifactSource {
+	var mu sync.Mutex
+	suites := map[string]*ExperimentSuite{}
+	return func(platform, artifact string) (Doc, error) {
+		canon, err := experiments.CanonicalID(artifact)
+		if err != nil {
+			return Doc{}, err
+		}
+		if canon != artifact {
+			return Doc{}, fmt.Errorf("repro: %q is an alias: request %q", artifact, canon)
+		}
+		mu.Lock()
+		s, ok := suites[platform]
+		if !ok {
+			sp, err := scenario.Get(platform)
+			if err != nil {
+				mu.Unlock()
+				return Doc{}, err
+			}
+			s = experiments.NewSuiteFor(sp)
+			suites[platform] = s
+		}
+		mu.Unlock()
+		r, err := s.Run(canon)
+		if err != nil {
+			return Doc{}, err
+		}
+		return r.Report(), nil
+	}
+}
