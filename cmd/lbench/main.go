@@ -7,6 +7,8 @@
 // run reports the traffic the generator would inject at the given
 // configuration and, with -loi, the flops/element setting that reaches a
 // target level of interference.
+//
+// See docs/CLI.md for the complete flag reference.
 package main
 
 import (

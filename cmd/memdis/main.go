@@ -8,6 +8,8 @@
 //	memdis -platform cxl-gen5 figure9 # same analysis on an alternate platform
 //	memdis -format json figure9       # machine-readable artifact on stdout
 //	memdis -out artifacts all         # write figureN.txt|.json|.csv files
+//	memdis sweep                      # default parameter-sweep campaign
+//	memdis sweep -axis gen=0,5,6 -axis frac=0.25:0.75:0.25
 //	memdis serve                      # serve every artifact over HTTP
 //	memdis list                       # list experiment ids
 //	memdis platforms                  # list platform scenarios
@@ -24,7 +26,17 @@
 // The -format flag picks the stdout renderer (text, json or csv); -out DIR
 // additionally writes each selected artifact in every format into DIR. Both
 // draw from one render-once artifact store, as does `memdis serve`, which
-// answers GET /artifacts/<id>.<txt|json|csv>?platform=<scenario> on -addr.
+// answers GET /artifacts/<id>.<txt|json|csv>?platform=<scenario> and
+// GET /sweep?axis=...&artifact=sweep|sensitivity&format=... on -addr.
+//
+// The sweep subcommand runs a parameter-sweep campaign over generated
+// scenarios: each -axis flag declares one swept dimension (gen, lat, bw,
+// frac — see internal/sweep), their cross-product derives one scenario per
+// cell from the -platform base system, and the campaign emits the "sweep"
+// and "sensitivity" artifacts through the same store, -format and -out
+// plumbing as the fixed experiments. With no -axis flags the canonical
+// generation x capacity-fraction grid runs — exactly the grid behind
+// `memdis sweep` and `memdis sensitivity` as plain artifact ids.
 package main
 
 import (
@@ -35,10 +47,14 @@ import (
 	"os"
 	"sync"
 
+	"strings"
+
 	"repro/internal/experiments"
 	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/workloads/registry"
 )
 
 func main() {
@@ -115,7 +131,7 @@ func run(args []string) error {
 	}
 	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: memdis [-j N] [-platform S] [-format F] [-out DIR] <all|serve|list|platforms|%s|...>", experiments.IDs[0])
+		return fmt.Errorf("usage: memdis [-j N] [-platform S] [-format F] [-out DIR] <all|serve|sweep|list|platforms|%s|...>", experiments.IDs[0])
 	}
 	f, err := report.ParseFormat(*format)
 	if err != nil {
@@ -141,8 +157,13 @@ func run(args []string) error {
 		if len(args) > 1 {
 			return fmt.Errorf("unexpected arguments after \"serve\": %v (flags go before the subcommand: memdis -addr HOST:PORT serve)", args[1:])
 		}
+		mux := http.NewServeMux()
+		mux.Handle("/", st.Handler(experiments.IDs, *platform))
+		mux.Handle("/sweep", sweepHandler(forPlatform, *platform))
 		fmt.Fprintf(os.Stderr, "memdis: serving artifacts on http://%s/ (default platform %s)\n", *addr, *platform)
-		return http.ListenAndServe(*addr, st.Handler(experiments.IDs, *platform))
+		return http.ListenAndServe(*addr, mux)
+	case "sweep":
+		return runSweep(args[1:], forPlatform, st, *platform, f, *outDir)
 	case "all":
 		if len(args) > 1 {
 			// Catch `memdis all -j 4`: flag parsing stops at the first
@@ -173,6 +194,85 @@ func run(args []string) error {
 		}
 		return emit(st, *platform, ids, f, *outDir, false)
 	}
+}
+
+// runSweep implements the sweep subcommand: parse the axis declarations,
+// run the campaign on the selected platform's suite, seed the store with
+// the two resulting documents and emit them like any other artifact pair.
+func runSweep(args []string, forPlatform func(string) (*experiments.Suite, error), st *report.Store, platform string, f report.Format, outDir string) error {
+	fs := flag.NewFlagSet("memdis sweep", flag.ContinueOnError)
+	var axes []sweep.Axis
+	fs.Func("axis", "swept axis, name=v1,v2,... or name=lo:hi:step (repeatable; axes: gen, lat, bw, frac)", func(s string) error {
+		a, err := sweep.ParseAxis(s)
+		if err != nil {
+			return err
+		}
+		axes = append(axes, a)
+		return nil
+	})
+	runs := fs.Int("runs", 0, "Monte-Carlo scheduler runs per cell (0 = the paper's 100)")
+	workloadList := fs.String("workloads", "", "comma-separated workload subset (default: all six)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		return fmt.Errorf("unexpected arguments after \"sweep\" flags: %v", rest)
+	}
+	s, err := forPlatform(platform)
+	if err != nil {
+		return err
+	}
+	if *runs > 0 {
+		s.Runs = *runs
+	}
+	if *workloadList != "" {
+		var entries []registry.Entry
+		for _, name := range strings.Split(*workloadList, ",") {
+			e, err := registry.Get(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+		}
+		s.Entries = entries
+	}
+	camp, err := s.RunSweep(s.SweepGrid(axes))
+	if err != nil {
+		return err
+	}
+	st.Put(platform, camp.Sweep())
+	st.Put(platform, camp.Sensitivity())
+	return emit(st, platform, []string{"sweep", "sensitivity"}, f, outDir, false)
+}
+
+// sweepHandler adapts the per-platform suites to the sweep campaign
+// endpoint: each platform's default grid comes from its suite, and
+// campaigns memoize on the suite so repeated queries share executions.
+func sweepHandler(forPlatform func(string) (*experiments.Suite, error), defaultPlatform string) http.Handler {
+	resolve := func(platform string) (*experiments.Suite, error) {
+		if platform == "" {
+			platform = defaultPlatform
+		}
+		return forPlatform(platform)
+	}
+	return sweep.Handler(
+		func(platform string) (sweep.Grid, error) {
+			s, err := resolve(platform)
+			if err != nil {
+				return sweep.Grid{}, err
+			}
+			return s.SweepGrid(nil), nil
+		},
+		func(platform string, g sweep.Grid) (*sweep.Campaign, error) {
+			s, err := resolve(platform)
+			if err != nil {
+				return nil, err
+			}
+			return s.RunSweep(g)
+		})
 }
 
 // emit prints each artifact in the chosen format (with the historical

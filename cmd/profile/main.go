@@ -6,6 +6,8 @@
 //	profile -workload HPL -platform cxl-gen5   # profile against a scenario
 //	profile -workload HPL -format json         # machine-readable reports
 //	profile -workload HPL -out profdir         # write level1.txt|.json|.csv ...
+//
+// See docs/CLI.md for the complete flag reference.
 package main
 
 import (

@@ -62,6 +62,49 @@ func ExampleSchedule() {
 	// loud-2 started at 0.24s
 }
 
+// ExamplePlatformNamed looks a platform scenario up by name and shows the
+// what-if surface: the scenario carries a complete platform plus the
+// capacity protocol to sweep on it.
+func ExamplePlatformNamed() {
+	sc, err := repro.PlatformNamed("cxl-gen6")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %s\n", sc.Name, sc.Description)
+	fmt.Printf("link: %.0f GB/s data, %.0f ns, headline split %.0f%% local\n",
+		sc.Platform.Link.DataBandwidth/1e9, sc.Platform.Link.Latency*1e9,
+		sc.HeadlineFraction*100)
+	// Output:
+	// cxl-gen6: CXL 3.0 pool on PCIe 6.0 x8: 52 GB/s data, 310 ns, 1.12x flit overhead
+	// link: 52 GB/s data, 310 ns, headline split 50% local
+}
+
+// ExampleRunSweep declares a two-axis campaign — interconnect generation
+// crossed with the local capacity fraction — and runs the paper's headline
+// analyses over every generated scenario. (No Output comment: a full
+// campaign profiles every workload, so the example compiles under go test
+// but is not executed.)
+func ExampleRunSweep() {
+	base, err := repro.PlatformNamed("baseline")
+	if err != nil {
+		panic(err)
+	}
+	grid := repro.SweepGrid{
+		Base: base,
+		Axes: []repro.SweepAxis{
+			{Name: "gen", Values: []float64{0, 5, 6}},
+			{Name: "frac", Values: []float64{0.25, 0.50, 0.75}},
+		},
+	}
+	campaign, err := repro.RunSweep(grid, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(repro.RenderText(campaign.Sensitivity()))
+	best := campaign.Points[campaign.Best]
+	fmt.Printf("best cell: %s (score %.3f)\n", best.Spec.Name, campaign.Scores[campaign.Best])
+}
+
 // ExampleRecordTrace shows the profile-once / analyze-everywhere workflow:
 // a workload execution is recorded once, then the operation trace is
 // replayed onto a platform with a quarter of the local capacity — no

@@ -65,6 +65,11 @@ type Suite struct {
 	// cross-scenario driver (memoized so repeated sweeps share caches).
 	scenMu    sync.Mutex
 	scenProfs map[string]*core.Profiler
+	// sweepMu guards sweeps, the single-flight memo of sweep campaigns
+	// keyed by grid (the "sweep" and "sensitivity" artifacts share one
+	// execution even when requested concurrently).
+	sweepMu sync.Mutex
+	sweeps  map[string]*campaignEntry
 }
 
 // NewSuite returns a suite on the given platform with the paper's defaults.
@@ -161,11 +166,12 @@ var LoILevels = []float64{0, 0.10, 0.20, 0.30, 0.40, 0.50}
 var CapacityFractions = []float64{0.75, 0.50, 0.25}
 
 // IDs lists every experiment in paper order, followed by the repo's own
-// cross-scenario comparison (not a paper artifact, hence last).
+// artifacts (not from the paper, hence last): the cross-scenario
+// comparison and the two views of the default sweep campaign.
 var IDs = []string{
 	"figure1", "table1", "table2", "figure5", "figure6", "figure7",
 	"figure8", "figure9", "figure10", "figure11", "figure12", "figure13",
-	"scenarios",
+	"scenarios", "sweep", "sensitivity",
 }
 
 // CanonicalID resolves an experiment id or figure alias ("fig9") to its
@@ -217,6 +223,10 @@ func (s *Suite) Run(id string) (Result, error) {
 		return s.Figure13(), nil
 	case "scenarios":
 		return s.Scenarios(), nil
+	case "sweep":
+		return s.Sweep(), nil
+	case "sensitivity":
+		return s.Sensitivity(), nil
 	}
 	panic("experiments: CanonicalID returned an unhandled id " + canon) // unreachable
 }

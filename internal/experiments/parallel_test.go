@@ -100,6 +100,29 @@ func TestQuickTierDeterministic(t *testing.T) {
 	}
 }
 
+// TestSweepArtifactsShareOneCampaign pins the single-flight memo: the
+// "sweep" and "sensitivity" drivers must reduce the same executed
+// campaign, not run the grid twice — including when AllParallel requests
+// both concurrently (the full tier exercises that path; here the two
+// driver calls hit the memo sequentially on the warm quick suite).
+func TestSweepArtifactsShareOneCampaign(t *testing.T) {
+	s := quickSuite()
+	sw := s.Sweep()
+	se := s.Sensitivity()
+	if sw.Campaign != se.Campaign {
+		t.Error("sweep and sensitivity ran separate campaigns; want one shared execution")
+	}
+	if sw.Campaign == nil || len(sw.Campaign.Points) == 0 {
+		t.Fatal("default campaign is empty")
+	}
+	if sw.Render() == "" || se.Render() == "" {
+		t.Error("sweep artifacts render empty")
+	}
+	if sw.Report().Artifact != "sweep" || se.Report().Artifact != "sensitivity" {
+		t.Errorf("artifact ids: %q, %q", sw.Report().Artifact, se.Report().Artifact)
+	}
+}
+
 // TestAllParallelByteIdenticalToSequential is the engine's core guarantee:
 // a parallel sweep renders exactly the bytes the sequential sweep renders,
 // for any worker count. Two independent suites are used so the parallel run

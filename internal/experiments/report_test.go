@@ -59,10 +59,11 @@ func roundTrip(t *testing.T, r Result, goldenID string) {
 	}
 }
 
-// TestRendererRoundTrips covers all 14 artifacts: the paper's 12, the
-// cross-scenario comparison, and figure9 on the cxl-gen5 scenario. The
-// quick tier covers the two data-backed artifacts; the full tier runs the
-// whole set off the shared suite's memoized profiles.
+// TestRendererRoundTrips covers all 16 artifacts: the paper's 12, the
+// cross-scenario comparison, the two sweep-campaign views, and figure9 on
+// the cxl-gen5 scenario. The quick tier covers the two data-backed
+// artifacts; the full tier runs the whole set off the shared suite's
+// memoized profiles.
 func TestRendererRoundTrips(t *testing.T) {
 	s := testSuite()
 	for _, id := range IDs {

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// baseSpec wraps the suite's platform and capacity protocol as a scenario
+// spec — the base system sweep campaigns derive their grids from, so
+// `memdis -platform cxl-gen5 sweep` sweeps around that scenario's link and
+// protocol rather than the testbed's.
+func (s *Suite) baseSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:              s.Cfg.Name,
+		Description:       "the suite's base platform",
+		Platform:          s.Cfg,
+		CapacityFractions: s.fractions(),
+		HeadlineFraction:  s.headline(),
+	}
+}
+
+// SweepGrid returns the campaign grid over the given axes on the suite's
+// base system; nil axes select the canonical generation x capacity-fraction
+// grid (sweep.DefaultGrid) that backs the "sweep" and "sensitivity"
+// artifacts.
+func (s *Suite) SweepGrid(axes []sweep.Axis) sweep.Grid {
+	if axes == nil {
+		return sweep.DefaultGrid(s.baseSpec())
+	}
+	return sweep.Grid{Base: s.baseSpec(), Axes: axes}
+}
+
+// campaignEntry is one single-flight memo slot of Suite.RunSweep.
+type campaignEntry struct {
+	once sync.Once
+	c    *sweep.Campaign
+	err  error
+}
+
+// maxCampaigns bounds the campaign memo. Grid keys are request-controlled
+// on the serve path (`GET /sweep?axis=...`), and each memoized campaign
+// holds every cell of an executed grid — an unbounded map would let a
+// client grow server memory one query at a time (the same reason
+// report.Store refuses to memoize errors). When full, an arbitrary older
+// entry is evicted; eviction only costs recomputation, never changes
+// results.
+const maxCampaigns = 16
+
+// RunSweep executes a campaign grid with the suite's workload table,
+// Monte-Carlo run count and concurrency budget, reusing the suite's warm
+// profiler for the base platform. Campaigns are memoized single-flight
+// per grid key, so the "sweep" and "sensitivity" artifacts — even when
+// AllParallel requests them concurrently — and repeated requests for the
+// same grid share one execution. (The memo assumes Entries and Runs are
+// configured before the first campaign runs, like the other suite fields.)
+func (s *Suite) RunSweep(g sweep.Grid) (*sweep.Campaign, error) {
+	key := g.Key()
+	s.sweepMu.Lock()
+	if s.sweeps == nil {
+		s.sweeps = map[string]*campaignEntry{}
+	}
+	e, ok := s.sweeps[key]
+	if !ok {
+		if len(s.sweeps) >= maxCampaigns {
+			for k := range s.sweeps {
+				if k != key {
+					delete(s.sweeps, k)
+					break
+				}
+			}
+		}
+		e = &campaignEntry{}
+		s.sweeps[key] = e
+	}
+	s.sweepMu.Unlock()
+	e.once.Do(func() {
+		r := &sweep.Runner{
+			Grid:         g,
+			Entries:      s.Entries,
+			Runs:         s.Runs,
+			BaseProfiler: s.Profiler,
+		}
+		e.c, e.err = r.Run(s.lim())
+	})
+	return e.c, e.err
+}
+
+// defaultCampaign runs (or returns the memoized) default-grid campaign.
+func (s *Suite) defaultCampaign() *sweep.Campaign {
+	c, err := s.RunSweep(s.SweepGrid(nil))
+	if err != nil {
+		panic(err) // unreachable: the default grid always validates
+	}
+	return c
+}
+
+// SweepResult is the "sweep" artifact: the default campaign's long-form
+// per-cell table over the generation x capacity-fraction grid.
+type SweepResult struct {
+	// Campaign is the executed default-grid campaign.
+	Campaign *sweep.Campaign
+}
+
+// Sweep runs the default sweep campaign (shared with Sensitivity).
+func (s *Suite) Sweep() SweepResult { return SweepResult{Campaign: s.defaultCampaign()} }
+
+// ID implements Result.
+func (SweepResult) ID() string { return "sweep" }
+
+// Report implements Result.
+func (r SweepResult) Report() report.Doc { return r.Campaign.Sweep() }
+
+// Render implements Result.
+func (r SweepResult) Render() string { return report.RenderText(r.Report()) }
+
+// SensitivityResult is the "sensitivity" artifact: per-axis marginal
+// deltas of the default campaign against the base system, with the
+// best/worst frontier cells.
+type SensitivityResult struct {
+	// Campaign is the executed default-grid campaign.
+	Campaign *sweep.Campaign
+}
+
+// Sensitivity runs the default sweep campaign (shared with Sweep) and
+// reduces it to the axis-sensitivity view.
+func (s *Suite) Sensitivity() SensitivityResult {
+	return SensitivityResult{Campaign: s.defaultCampaign()}
+}
+
+// ID implements Result.
+func (SensitivityResult) ID() string { return "sensitivity" }
+
+// Report implements Result.
+func (r SensitivityResult) Report() report.Doc { return r.Campaign.Sensitivity() }
+
+// Render implements Result.
+func (r SensitivityResult) Render() string { return report.RenderText(r.Report()) }

@@ -13,6 +13,11 @@ var contentTypes = map[Format]string{
 	FormatCSV:  "text/csv; charset=utf-8",
 }
 
+// ContentType returns the HTTP media type of a format — for handlers
+// outside this package (the sweep campaign endpoint) that serve rendered
+// documents with the same headers as the artifact handler.
+func ContentType(f Format) string { return contentTypes[f] }
+
 // Handler serves the store over HTTP — the capstone of the pipeline: any
 // artifact, any platform, any format, straight from the memoized store.
 //

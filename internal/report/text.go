@@ -28,8 +28,13 @@ func (f Format) Ext() string {
 	return string(f)
 }
 
-// ParseFormat resolves a -format flag value.
+// ParseFormat resolves a -format flag or query value. The file extension
+// "txt" is accepted as an alias for "text", so the same parser serves CLI
+// flags and the URLs WriteDir/Handler derive from Ext.
 func ParseFormat(s string) (Format, error) {
+	if s == "txt" {
+		return FormatText, nil
+	}
 	switch Format(s) {
 	case FormatText, FormatJSON, FormatCSV:
 		return Format(s), nil

@@ -68,6 +68,26 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// Renamed returns a copy of the spec under a new name. Generators (the
+// sweep engine's grid cross-product) use it to stamp each derived spec with
+// its canonical cell name while leaving the underlying platform name — and
+// therefore profiler-cache sharing across cells with identical physics —
+// untouched.
+func (s Spec) Renamed(name string) Spec {
+	s.Name = name
+	return s
+}
+
+// WithCapacitySplit returns a copy of the spec whose capacity protocol is
+// collapsed to the single local-capacity fraction f: the sweep and the
+// headline point both become f. This is how a capacity-fraction axis turns
+// one registered scenario into a continuum of candidate systems.
+func (s Spec) WithCapacitySplit(f float64) Spec {
+	s.CapacityFractions = []float64{f}
+	s.HeadlineFraction = f
+	return s
+}
+
 // paperFractions is the paper's 75/50/25 local-capacity protocol.
 var paperFractions = []float64{0.75, 0.50, 0.25}
 

@@ -53,6 +53,64 @@ func TestGetAndNames(t *testing.T) {
 	}
 }
 
+// TestGetUnknownErrorListsValidNames pins the lookup error message: a user
+// typo must come back with the full list of valid scenario names, not an
+// opaque "unknown scenario". The exact text is part of the CLI surface
+// (memdis and profile print it verbatim for a bad -platform).
+func TestGetUnknownErrorListsValidNames(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{
+			in:   "upi-gen9",
+			want: `scenario: unknown scenario "upi-gen9" (known: baseline, cxl-gen5, cxl-gen6, big-pool, skewed-split)`,
+		},
+		{
+			in:   "",
+			want: `scenario: unknown scenario "" (known: baseline, cxl-gen5, cxl-gen6, big-pool, skewed-split)`,
+		},
+		{
+			// Case matters: names are registered lowercase.
+			in:   "Baseline",
+			want: `scenario: unknown scenario "Baseline" (known: baseline, cxl-gen5, cxl-gen6, big-pool, skewed-split)`,
+		},
+	}
+	for _, tc := range tests {
+		_, err := Get(tc.in)
+		if err == nil {
+			t.Errorf("Get(%q): want error", tc.in)
+			continue
+		}
+		if got := err.Error(); got != tc.want {
+			t.Errorf("Get(%q) error:\n  got:  %s\n  want: %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDerivationHelpers covers the spec derivation surface the sweep
+// generator builds on.
+func TestDerivationHelpers(t *testing.T) {
+	base := Default()
+	r := base.Renamed("cell-1")
+	if r.Name != "cell-1" || r.Platform != base.Platform {
+		t.Errorf("Renamed should change only the spec name (got %q, platform %q)", r.Name, r.Platform.Name)
+	}
+	if base.Name != "baseline" {
+		t.Error("Renamed must not mutate the receiver")
+	}
+	c := base.WithCapacitySplit(0.3)
+	if len(c.CapacityFractions) != 1 || c.CapacityFractions[0] != 0.3 || c.HeadlineFraction != 0.3 {
+		t.Errorf("WithCapacitySplit(0.3) = sweep %v headline %v", c.CapacityFractions, c.HeadlineFraction)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("derived spec should validate: %v", err)
+	}
+	if len(base.CapacityFractions) != 3 {
+		t.Error("WithCapacitySplit must not mutate the receiver")
+	}
+}
+
 func TestCXLGenerationsOrdering(t *testing.T) {
 	g5, _ := Get("cxl-gen5")
 	g6, _ := Get("cxl-gen6")

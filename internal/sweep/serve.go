@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/report"
+)
+
+// Handler serves sweep campaigns over HTTP — the grid counterpart of the
+// artifact store's fixed-id handler:
+//
+//	GET /sweep                                         default grid, "sweep" artifact, text
+//	GET /sweep?artifact=sensitivity&format=json
+//	GET /sweep?axis=gen=0,5,6&axis=frac=0.25:0.75:0.25&format=csv
+//	GET /sweep?platform=cxl-gen5                       sweep around a scenario's base system
+//
+// Each "axis" query parameter is one ParseAxis declaration; omitting them
+// keeps the axes of the grid func's result. "artifact" picks "sweep"
+// (default) or "sensitivity"; "format" picks txt, json or csv
+// (report.ParseFormat, default txt).
+//
+// grid returns the default grid for a platform ("" means the server's
+// default platform) and run executes a validated grid on that platform's
+// suite — the memdis wiring memoizes campaigns per grid key on the suite,
+// so the two artifacts and repeated requests share one execution.
+// Malformed axes or formats are a 400; grid/run errors (e.g. an unknown
+// platform) are a 404, like the artifact handler's.
+func Handler(grid func(platform string) (Grid, error), run func(platform string, g Grid) (*Campaign, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		platform := r.URL.Query().Get("platform")
+		g, err := grid(platform)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if axes := r.URL.Query()["axis"]; len(axes) > 0 {
+			g.Axes = nil
+			for _, s := range axes {
+				a, err := ParseAxis(s)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				g.Axes = append(g.Axes, a)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			format = "text"
+		}
+		f, err := report.ParseFormat(format)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		artifact := r.URL.Query().Get("artifact")
+		if artifact == "" {
+			artifact = "sweep"
+		}
+		if artifact != "sweep" && artifact != "sensitivity" {
+			http.Error(w, fmt.Sprintf("unknown artifact %q (want sweep or sensitivity)", artifact), http.StatusBadRequest)
+			return
+		}
+
+		camp, err := run(platform, g)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		doc := camp.Sweep()
+		if artifact == "sensitivity" {
+			doc = camp.Sensitivity()
+		}
+		doc.Platform = g.Base.Name
+		out, err := report.Render(doc, f)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", report.ContentType(f))
+		fmt.Fprint(w, out)
+	})
+}

@@ -42,10 +42,12 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/placement"
+	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/roofline"
 	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 	"repro/internal/workloads/bfs"
@@ -305,6 +307,51 @@ func NewExperimentsFor(sc Scenario) *ExperimentSuite { return experiments.NewSui
 
 // ExperimentIDs lists every table/figure id in paper order.
 func ExperimentIDs() []string { return append([]string(nil), experiments.IDs...) }
+
+// SweepAxis is one swept dimension of a parameter-sweep campaign: an axis
+// name ("gen" for interconnect generation, "lat" for added link latency in
+// ns, "bw" for a link bandwidth scale factor, "frac" for the local
+// capacity fraction) and the values it takes.
+type SweepAxis = sweep.Axis
+
+// ParseSweepAxis parses a command-line style axis declaration: either an
+// explicit value list ("gen=0,5,6") or an inclusive range
+// ("frac=0.25:0.75:0.25").
+func ParseSweepAxis(s string) (SweepAxis, error) { return sweep.ParseAxis(s) }
+
+// SweepGrid is a declarative sweep campaign: a base scenario plus the axes
+// whose cross-product generates one derived scenario per grid cell, each
+// with a canonical name such as "gen=5,frac=0.25". It is the unbounded
+// generator counterpart of the fixed Platforms() registry.
+type SweepGrid = sweep.Grid
+
+// SweepCell holds one workload's headline metrics on one grid cell: the
+// Level-2 remote access ratio and verdict, the Level-3 interference
+// sensitivity and induced coefficient, and the scheduling comparison.
+type SweepCell = sweep.Cell
+
+// SweepCampaign is one executed sweep: every grid cell's metrics plus the
+// base reference. Its Sweep and Sensitivity methods reduce it to the two
+// artifact documents ("sweep": the long-form per-cell table;
+// "sensitivity": per-axis marginal deltas vs the base with the best/worst
+// frontier cells), renderable in any ArtifactFormat.
+type SweepCampaign = sweep.Campaign
+
+// DefaultSweepGrid returns the canonical two-axis campaign on a scenario's
+// base system: interconnect generation (base link, CXL gen5, CXL gen6)
+// crossed with the paper's three local-capacity fractions. It is the grid
+// behind the "sweep" and "sensitivity" experiment artifacts.
+func DefaultSweepGrid(base Scenario) SweepGrid { return sweep.DefaultGrid(base) }
+
+// RunSweep executes a sweep campaign over the given grid with the paper's
+// defaults (all six workloads, 100 scheduler runs per cell), fanned out
+// over a bounded pool of workers (0 or less selects every core). The
+// result is byte-identical for any worker count: each cell owns a
+// deterministic RNG substream derived from its grid coordinates.
+func RunSweep(g SweepGrid, workers int) (*SweepCampaign, error) {
+	r := &sweep.Runner{Grid: g}
+	return r.Run(pool.NewLimiter(pool.Workers(workers)))
+}
 
 // ExperimentResult is one experiment's outcome: its artifact id, its typed
 // document (Report) and its text rendering (Render, which is

@@ -107,12 +107,13 @@ func TestFacadeInterleave(t *testing.T) {
 
 func TestFacadeExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	// The paper's 12 artifacts plus the repo's cross-scenario comparison.
-	if len(ids) != 13 {
-		t.Fatalf("want 13 experiments, got %d", len(ids))
+	// The paper's 12 artifacts plus the repo's cross-scenario comparison
+	// and the two sweep-campaign views.
+	if len(ids) != 15 {
+		t.Fatalf("want 15 experiments, got %d", len(ids))
 	}
-	if ids[len(ids)-1] != "scenarios" {
-		t.Fatalf("scenario comparison should come after the paper artifacts: %v", ids)
+	if ids[12] != "scenarios" || ids[13] != "sweep" || ids[14] != "sensitivity" {
+		t.Fatalf("repo artifacts should come after the paper artifacts: %v", ids)
 	}
 	ids[0] = "mutated"
 	if ExperimentIDs()[0] == "mutated" {
