@@ -10,9 +10,15 @@
 //	memdis -out artifacts all         # write figureN.txt|.json|.csv files
 //	memdis sweep                      # default parameter-sweep campaign
 //	memdis sweep -axis gen=0,5,6 -axis frac=0.25:0.75:0.25
-//	memdis serve                      # serve every artifact over HTTP
+//	memdis serve                      # serve the versioned HTTP API
 //	memdis list                       # list experiment ids
 //	memdis platforms                  # list platform scenarios
+//
+// The CLI is a thin shell over repro.Service: every flag maps to a
+// functional option (-j to repro.WithWorkers, -platform to
+// repro.WithDefaultPlatform, the sweep subcommand's -runs and -workloads
+// to repro.WithRuns and repro.WithWorkloads), and every subcommand calls a
+// context-first Service method.
 //
 // The -j flag bounds the worker pool for both the experiment-level and the
 // intra-driver fan-out. Output is byte-identical for any -j value: every
@@ -25,9 +31,12 @@
 //
 // The -format flag picks the stdout renderer (text, json or csv); -out DIR
 // additionally writes each selected artifact in every format into DIR. Both
-// draw from one render-once artifact store, as does `memdis serve`, which
-// answers GET /artifacts/<id>.<txt|json|csv>?platform=<scenario> and
-// GET /sweep?axis=...&artifact=sweep|sensitivity&format=... on -addr.
+// draw from the service's render-once artifact store, as does
+// `memdis serve`, which mounts the versioned HTTP API on -addr:
+// GET /v1/artifacts/<id>, /v1/platforms, /v1/workloads, /v1/sweep and
+// /healthz, all sharing one JSON error envelope and Accept/?format=
+// content negotiation — plus the pre-/v1 paths
+// (/artifacts/<id>.<ext>, /sweep) as deprecated aliases. See docs/API.md.
 //
 // The sweep subcommand runs a parameter-sweep campaign over generated
 // scenarios: each -axis flag declares one swept dimension (gen, lat, bw,
@@ -40,21 +49,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"sync"
-
 	"strings"
 
-	"repro/internal/experiments"
-	"repro/internal/pool"
-	"repro/internal/report"
-	"repro/internal/scenario"
-	"repro/internal/sweep"
-	"repro/internal/workloads/registry"
+	"repro"
 )
 
 func main() {
@@ -62,58 +65,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memdis:", err)
 		os.Exit(1)
 	}
-}
-
-// suites builds one experiment suite per platform on demand, so the store
-// source shares profiler caches across artifacts of the same scenario.
-// This deliberately does not reuse repro.NewExperimentSource: the CLI
-// needs the suite handles themselves — to install -j on each and to run
-// `all` through Suite.AllParallel — which the Source seam hides.
-func suites(workers int) func(platform string) (*experiments.Suite, error) {
-	var mu sync.Mutex
-	cache := map[string]*experiments.Suite{}
-	return func(platform string) (*experiments.Suite, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if s, ok := cache[platform]; ok {
-			return s, nil
-		}
-		sp, err := scenario.Get(platform)
-		if err != nil {
-			return nil, err
-		}
-		s := experiments.NewSuiteFor(sp)
-		s.Workers = workers
-		cache[platform] = s
-		return s, nil
-	}
-}
-
-// newStore wires the experiment suites behind the artifact store: documents
-// compute once per (platform, artifact), renders once per format.
-func newStore(forPlatform func(string) (*experiments.Suite, error)) *report.Store {
-	return report.NewStore(func(platform, artifact string) (report.Doc, error) {
-		// The store keys and the serve URLs use canonical ids only; the CLI
-		// canonicalizes aliases before it gets here, and HTTP clients asking
-		// for an alias get pointed at the canonical URL instead of computing
-		// and caching a duplicate document under a divergent key.
-		canon, err := experiments.CanonicalID(artifact)
-		if err != nil {
-			return report.Doc{}, err
-		}
-		if canon != artifact {
-			return report.Doc{}, fmt.Errorf("%q is an alias: request %q", artifact, canon)
-		}
-		s, err := forPlatform(platform)
-		if err != nil {
-			return report.Doc{}, err
-		}
-		r, err := s.Run(canon)
-		if err != nil {
-			return report.Doc{}, err
-		}
-		return r.Report(), nil
-	})
 }
 
 func run(args []string) error {
@@ -131,25 +82,39 @@ func run(args []string) error {
 	}
 	args = fs.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: memdis [-j N] [-platform S] [-format F] [-out DIR] <all|serve|sweep|list|platforms|%s|...>", experiments.IDs[0])
+		return fmt.Errorf("usage: memdis [-j N] [-platform S] [-format F] [-out DIR] <all|serve|sweep|list|platforms|%s|...>", repro.ExperimentIDs()[0])
 	}
-	f, err := report.ParseFormat(*format)
+	f, err := repro.ParseArtifactFormat(*format)
 	if err != nil {
 		return err
 	}
-	if _, err := scenario.Get(*platform); err != nil {
+	// Resolve the platform before service construction so an unknown name
+	// surfaces as the bare names-listing error, not a wrapped one.
+	if _, err := repro.PlatformNamed(*platform); err != nil {
 		return err
 	}
-	forPlatform := suites(pool.Workers(*workers))
-	st := newStore(forPlatform)
+	opts := []repro.Option{
+		repro.WithWorkers(*workers),
+		repro.WithDefaultPlatform(*platform),
+	}
+	ctx := context.Background()
+	// The sweep subcommand builds its own service carrying the -runs and
+	// -workloads options; every other subcommand shares this one.
+	if args[0] == "sweep" {
+		return runSweep(ctx, args[1:], opts, *platform, f, *outDir)
+	}
+	svc, err := repro.New(opts...)
+	if err != nil {
+		return err
+	}
 	switch args[0] {
 	case "list":
-		for _, id := range experiments.IDs {
+		for _, id := range svc.IDs() {
 			fmt.Println(id)
 		}
 		return nil
 	case "platforms":
-		for _, sc := range scenario.All() {
+		for _, sc := range svc.Scenarios() {
 			fmt.Printf("%-12s  %s\n", sc.Name, sc.Description)
 		}
 		return nil
@@ -157,13 +122,8 @@ func run(args []string) error {
 		if len(args) > 1 {
 			return fmt.Errorf("unexpected arguments after \"serve\": %v (flags go before the subcommand: memdis -addr HOST:PORT serve)", args[1:])
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/", st.Handler(experiments.IDs, *platform))
-		mux.Handle("/sweep", sweepHandler(forPlatform, *platform))
-		fmt.Fprintf(os.Stderr, "memdis: serving artifacts on http://%s/ (default platform %s)\n", *addr, *platform)
-		return http.ListenAndServe(*addr, mux)
-	case "sweep":
-		return runSweep(args[1:], forPlatform, st, *platform, f, *outDir)
+		fmt.Fprintf(os.Stderr, "memdis: serving the /v1 API on http://%s/ (default platform %s)\n", *addr, *platform)
+		return http.ListenAndServe(*addr, svc.Handler())
 	case "all":
 		if len(args) > 1 {
 			// Catch `memdis all -j 4`: flag parsing stops at the first
@@ -171,39 +131,36 @@ func run(args []string) error {
 			// ignored instead of changing the worker count.
 			return fmt.Errorf("unexpected arguments after \"all\": %v (flags go before the subcommand: memdis -j N all)", args[1:])
 		}
-		// Compute the whole artifact set with the experiment-level fan-out
-		// and seed the store, which then only renders.
-		s, err := forPlatform(*platform)
-		if err != nil {
+		// Compute the whole artifact set with the experiment-level fan-out;
+		// RunAll seeds the store, so emit only renders.
+		if _, err := svc.RunAll(ctx, *platform); err != nil {
 			return err
 		}
-		for _, r := range s.AllParallel(s.Workers) {
-			st.Put(*platform, r.Report())
-		}
-		return emit(st, *platform, experiments.IDs, f, *outDir, true)
+		return emit(ctx, svc, *platform, svc.IDs(), f, *outDir, true)
 	default:
 		// Canonicalize aliases ("fig9" -> "figure9") so store keys, served
 		// URLs and -out filenames always match the document's artifact id.
 		ids := make([]string, len(args))
 		for i, id := range args {
-			canon, err := experiments.CanonicalID(id)
+			canon, err := repro.CanonicalArtifactID(id)
 			if err != nil {
 				return err
 			}
 			ids[i] = canon
 		}
-		return emit(st, *platform, ids, f, *outDir, false)
+		return emit(ctx, svc, *platform, ids, f, *outDir, false)
 	}
 }
 
 // runSweep implements the sweep subcommand: parse the axis declarations,
-// run the campaign on the selected platform's suite, seed the store with
-// the two resulting documents and emit them like any other artifact pair.
-func runSweep(args []string, forPlatform func(string) (*experiments.Suite, error), st *report.Store, platform string, f report.Format, outDir string) error {
+// build a service carrying the run-count and workload-subset options, run
+// the campaign on the selected platform's suite, seed the store with the
+// two resulting documents and emit them like any other artifact pair.
+func runSweep(ctx context.Context, args []string, opts []repro.Option, platform string, f repro.ArtifactFormat, outDir string) error {
 	fs := flag.NewFlagSet("memdis sweep", flag.ContinueOnError)
-	var axes []sweep.Axis
+	var axes []repro.SweepAxis
 	fs.Func("axis", "swept axis, name=v1,v2,... or name=lo:hi:step (repeatable; axes: gen, lat, bw, frac)", func(s string) error {
-		a, err := sweep.ParseAxis(s)
+		a, err := repro.ParseSweepAxis(s)
 		if err != nil {
 			return err
 		}
@@ -221,73 +178,50 @@ func runSweep(args []string, forPlatform func(string) (*experiments.Suite, error
 	if rest := fs.Args(); len(rest) > 0 {
 		return fmt.Errorf("unexpected arguments after \"sweep\" flags: %v", rest)
 	}
-	s, err := forPlatform(platform)
-	if err != nil {
-		return err
-	}
 	if *runs > 0 {
-		s.Runs = *runs
+		opts = append(opts, repro.WithRuns(*runs))
 	}
 	if *workloadList != "" {
-		var entries []registry.Entry
+		var entries []repro.WorkloadEntry
 		for _, name := range strings.Split(*workloadList, ",") {
-			e, err := registry.Get(strings.TrimSpace(name))
+			e, err := repro.Workload(strings.TrimSpace(name))
 			if err != nil {
 				return err
 			}
 			entries = append(entries, e)
 		}
-		s.Entries = entries
+		opts = append(opts, repro.WithWorkloads(entries...))
 	}
-	camp, err := s.RunSweep(s.SweepGrid(axes))
+	svc, err := repro.New(opts...)
 	if err != nil {
 		return err
 	}
-	st.Put(platform, camp.Sweep())
-	st.Put(platform, camp.Sensitivity())
-	return emit(st, platform, []string{"sweep", "sensitivity"}, f, outDir, false)
-}
-
-// sweepHandler adapts the per-platform suites to the sweep campaign
-// endpoint: each platform's default grid comes from its suite, and
-// campaigns memoize on the suite so repeated queries share executions.
-func sweepHandler(forPlatform func(string) (*experiments.Suite, error), defaultPlatform string) http.Handler {
-	resolve := func(platform string) (*experiments.Suite, error) {
-		if platform == "" {
-			platform = defaultPlatform
-		}
-		return forPlatform(platform)
+	g, err := svc.Grid(platform, axes...)
+	if err != nil {
+		return err
 	}
-	return sweep.Handler(
-		func(platform string) (sweep.Grid, error) {
-			s, err := resolve(platform)
-			if err != nil {
-				return sweep.Grid{}, err
-			}
-			return s.SweepGrid(nil), nil
-		},
-		func(platform string, g sweep.Grid) (*sweep.Campaign, error) {
-			s, err := resolve(platform)
-			if err != nil {
-				return nil, err
-			}
-			return s.RunSweep(g)
-		})
+	camp, err := svc.Sweep(ctx, g)
+	if err != nil {
+		return err
+	}
+	svc.Store().Put(platform, camp.Sweep())
+	svc.Store().Put(platform, camp.Sensitivity())
+	return emit(ctx, svc, platform, []string{"sweep", "sensitivity"}, f, outDir, false)
 }
 
 // emit prints each artifact in the chosen format (with the historical
 // banner for `all` text output) and, when outDir is set, writes the whole
 // artifact set in every format there.
-func emit(st *report.Store, platform string, ids []string, f report.Format, outDir string, banner bool) error {
+func emit(ctx context.Context, svc *repro.Service, platform string, ids []string, f repro.ArtifactFormat, outDir string, banner bool) error {
 	for _, id := range ids {
-		out, err := st.Artifact(platform, id, f)
+		out, err := svc.Rendered(ctx, repro.ArtifactRequest{Platform: platform, Artifact: id}, f)
 		if err != nil {
 			return err
 		}
 		switch {
-		case f == report.FormatText && banner:
+		case f == repro.FormatText && banner:
 			fmt.Printf("==== %s ====\n%s\n", id, out)
-		case f == report.FormatText:
+		case f == repro.FormatText:
 			// The historical `memdis <id>` layout: Println adds the blank
 			// line that separated consecutive artifacts.
 			fmt.Println(out)
@@ -298,7 +232,7 @@ func emit(st *report.Store, platform string, ids []string, f report.Format, outD
 	if outDir == "" {
 		return nil
 	}
-	paths, err := st.WriteDir(outDir, platform, ids)
+	paths, err := svc.WriteDir(ctx, outDir, platform, ids)
 	if err != nil {
 		return err
 	}

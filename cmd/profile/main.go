@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -88,7 +89,7 @@ func run(args []string) error {
 	for i, d := range docs {
 		ids[i] = d.Artifact
 	}
-	paths, err := st.WriteDir(*outDir, sp.Name, ids)
+	paths, err := st.WriteDir(context.Background(), *outDir, sp.Name, ids)
 	if err != nil {
 		return err
 	}
@@ -99,7 +100,7 @@ func run(args []string) error {
 // store seeds an artifact store with the already-computed level docs, so
 // WriteDir renders without re-profiling.
 func store(docs []report.Doc, platform string) *report.Store {
-	st := report.NewStore(func(pf, artifact string) (report.Doc, error) {
+	st := report.NewStore(func(_ context.Context, pf, artifact string) (report.Doc, error) {
 		return report.Doc{}, fmt.Errorf("profile: unknown report %q", artifact)
 	})
 	for _, d := range docs {

@@ -2,10 +2,48 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"time"
 
 	"repro"
 )
+
+// ExampleNew builds the unified Service facade — one handle owning the
+// worker pool, the per-platform suites, the artifact store and the sweep
+// memo — and drives it with context-first calls: cancellation or the
+// deadline here stops the engine mid-campaign within one task boundary.
+// (No Output comment: computing a real artifact profiles workloads, so
+// the example compiles under go test but is not executed.)
+func ExampleNew() {
+	svc, err := repro.New(
+		repro.WithWorkers(8),                  // one shared budget for every fan-out
+		repro.WithDefaultPlatform("cxl-gen5"), // what an empty Platform resolves to
+	)
+	if err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	doc, err := svc.Artifact(ctx, repro.ArtifactRequest{Artifact: "figure9"})
+	if err != nil {
+		panic(err)
+	}
+	out, err := svc.Rendered(ctx, repro.ArtifactRequest{Artifact: "figure9"}, repro.FormatJSON)
+	if err != nil {
+		panic(err)
+	}
+	grid, err := svc.Grid("") // the default generation x capacity-fraction grid
+	if err != nil {
+		panic(err)
+	}
+	campaign, err := svc.Sweep(ctx, grid) // memoized single-flight per grid
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(doc.Artifact, len(out), len(campaign.Points))
+}
 
 // ExampleNewProfiler runs the paper's Level-2 analysis on a 50%-50%
 // two-tier system and classifies each phase's remote access ratio against

@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/api"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/workloads/registry"
+)
+
+// serviceBackend adapts a Service to the internal api.Backend interface
+// the versioned HTTP layer serves.
+type serviceBackend struct{ s *Service }
+
+func (b serviceBackend) CanonicalID(id string) (string, error) {
+	return experiments.CanonicalID(id)
+}
+
+func (b serviceBackend) Rendered(ctx context.Context, platform, artifact string, f report.Format) (string, error) {
+	return b.s.Rendered(ctx, ArtifactRequest{Platform: platform, Artifact: artifact}, f)
+}
+
+func (b serviceBackend) Grid(platform string, axes ...sweep.Axis) (sweep.Grid, error) {
+	return b.s.Grid(platform, axes...)
+}
+
+func (b serviceBackend) Sweep(ctx context.Context, g sweep.Grid) (*sweep.Campaign, error) {
+	return b.s.Sweep(ctx, g)
+}
+
+func (b serviceBackend) Scenarios() []scenario.Spec  { return b.s.Scenarios() }
+func (b serviceBackend) Workloads() []registry.Entry { return b.s.Workloads() }
+func (b serviceBackend) IDs() []string               { return b.s.IDs() }
+func (b serviceBackend) DefaultPlatform() string     { return b.s.DefaultPlatform() }
+
+// Handler returns the Service's HTTP surface — what `memdis serve`
+// mounts: the versioned /v1 API (GET /v1/artifacts/{id}, /v1/platforms,
+// /v1/workloads, /v1/sweep and GET /healthz) with one shared JSON error
+// envelope, Accept-header plus ?format= content negotiation, and a
+// middleware chain (request logging via WithLogger, panic recovery, the
+// shared request-validation layer), plus the pre-/v1 paths ("/",
+// /artifacts/..., /sweep) mounted as deprecated aliases answering exactly
+// as before with Deprecation headers added. Artifact computation is
+// bounded by each request's context: a disconnecting client stops the
+// engine at its next task boundary.
+func (s *Service) Handler() http.Handler {
+	logger := s.logger
+	if !s.loggerSet {
+		logger = log.New(os.Stderr, "api: ", log.LstdFlags)
+	}
+	legacySweep := sweep.Handler(
+		func(platform string) (sweep.Grid, error) {
+			return s.Grid(platform)
+		},
+		func(ctx context.Context, platform string, g sweep.Grid) (*sweep.Campaign, error) {
+			// Request-scoped: a disconnecting client releases the engine
+			// instead of pinning the suite's invocation slot.
+			return s.Sweep(ctx, g)
+		})
+	return api.New(api.Config{
+		Backend:         serviceBackend{s: s},
+		Logger:          logger,
+		LegacyArtifacts: s.store.Handler(experiments.IDs, s.defaultPlatform),
+		LegacySweep:     legacySweep,
+	})
+}

@@ -1,0 +1,275 @@
+// Package api is the versioned HTTP surface of the reproduction service:
+// one mux, one JSON error envelope, one content-negotiation rule and one
+// middleware chain (request logging, panic recovery, shared request
+// validation) over every route — replacing the two bespoke pre-/v1
+// handlers (the artifact store's and the sweep endpoint's), which stay
+// mounted as deprecated aliases.
+//
+// Routes (all GET):
+//
+//	/healthz                   liveness: {"status":"ok"}
+//	/v1                        index: artifact ids, platforms, formats, routes
+//	/v1/artifacts              artifact index
+//	/v1/artifacts/{id}         one artifact (canonical ids only)
+//	/v1/platforms              the scenario table
+//	/v1/workloads              the workload table
+//	/v1/sweep                  a sweep campaign (axis=, artifact=, platform=)
+//
+// Every data route accepts ?platform= (default: the backend's) and picks
+// its representation from ?format= (text, json, csv — txt accepted,
+// case-insensitive) or, absent that, the Accept header (application/json,
+// text/csv, text/plain; unrecognized types fall back to text).
+//
+// Errors — unknown artifact or platform (404), alias ids (404, pointing
+// at the canonical id), malformed formats or axes and oversized grids
+// (400), cancelled computations (503/504), panics (500) — all share one
+// JSON envelope:
+//
+//	{"error": {"status": 404, "message": "..."}}
+//
+// with a "formats" field listing the accepted spellings verbatim when the
+// failure is a format error. Validation runs the exact same validators the
+// library path runs (report.ParseFormat, sweep.Grid.Validate via the
+// backend's Sweep), so the two surfaces cannot drift apart.
+package api
+
+import (
+	"context"
+	"log"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/workloads/registry"
+)
+
+// Backend is the service surface the HTTP API serves — implemented by
+// repro.Service.
+type Backend interface {
+	// CanonicalID resolves an artifact id or alias to the canonical id
+	// the backend serves it under; unknown ids error (matching
+	// experiments.ErrUnknownID for the envelope's 404 mapping).
+	CanonicalID(id string) (string, error)
+	// Rendered returns one artifact rendered in one format; platform ""
+	// means the backend's default.
+	Rendered(ctx context.Context, platform, artifact string, f report.Format) (string, error)
+	// Grid returns the sweep grid on a platform's base system over the
+	// given axes (none selects the canonical default grid).
+	Grid(platform string, axes ...sweep.Axis) (sweep.Grid, error)
+	// Sweep executes (or returns the memoized) campaign for a grid.
+	Sweep(ctx context.Context, g sweep.Grid) (*sweep.Campaign, error)
+	// Scenarios, Workloads and IDs enumerate the served tables.
+	Scenarios() []scenario.Spec
+	Workloads() []registry.Entry
+	IDs() []string
+	// DefaultPlatform is the scenario an absent ?platform= resolves to.
+	DefaultPlatform() string
+}
+
+// Config wires a Backend into the HTTP surface.
+type Config struct {
+	// Backend serves every /v1 route.
+	Backend Backend
+	// Logger receives one request-log line per request; nil disables
+	// request logging.
+	Logger *log.Logger
+	// LegacyArtifacts and LegacySweep, when set, are mounted at the
+	// pre-/v1 paths ("/" with its /artifacts/ subtree, and "/sweep") as
+	// deprecated aliases: same behavior, plus Deprecation/Link headers
+	// pointing successors out.
+	LegacyArtifacts http.Handler
+	LegacySweep     http.Handler
+}
+
+// New builds the versioned API handler: the /v1 routes and /healthz behind
+// the middleware chain, with the legacy aliases (when configured) mounted
+// beneath them.
+func New(c Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", get(handleHealthz))
+	mux.Handle("/v1", get(c.handleIndex))
+	mux.Handle("/v1/", get(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, errNoRoute(r.URL.Path))
+	}))
+	mux.Handle("/v1/artifacts", get(c.handleArtifactIndex))
+	mux.Handle("/v1/artifacts/{id}", get(c.handleArtifact))
+	mux.Handle("/v1/platforms", get(c.handlePlatforms))
+	mux.Handle("/v1/workloads", get(c.handleWorkloads))
+	mux.Handle("/v1/sweep", get(c.handleSweep))
+	if c.LegacyArtifacts != nil {
+		mux.Handle("/", deprecated(c.LegacyArtifacts, "/v1/artifacts"))
+	}
+	if c.LegacySweep != nil {
+		mux.Handle("/sweep", deprecated(c.LegacySweep, "/v1/sweep"))
+	}
+	return logging(c.Logger, recovery(mux))
+}
+
+// handleHealthz is the liveness probe: always 200, never touches the
+// experiment engine.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleIndex describes the API: the served ids and names plus the route
+// shapes, so `curl /v1` is self-documenting.
+func (c Config) handleIndex(w http.ResponseWriter, r *http.Request) {
+	scs := c.Backend.Scenarios()
+	platforms := make([]string, len(scs))
+	for i, sp := range scs {
+		platforms[i] = sp.Name
+	}
+	ws := c.Backend.Workloads()
+	workloads := make([]string, len(ws))
+	for i, e := range ws {
+		workloads[i] = e.Name
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"artifacts":        c.Backend.IDs(),
+		"platforms":        platforms,
+		"workloads":        workloads,
+		"formats":          report.AcceptedFormats(),
+		"default_platform": c.Backend.DefaultPlatform(),
+		"routes": []string{
+			"GET /healthz",
+			"GET /v1",
+			"GET /v1/artifacts",
+			"GET /v1/artifacts/{id}?platform=&format=",
+			"GET /v1/platforms?format=",
+			"GET /v1/workloads?format=",
+			"GET /v1/sweep?axis=&artifact=sweep|sensitivity&platform=&format=",
+		},
+	})
+}
+
+// handleArtifactIndex lists the artifact ids and the URL shape serving
+// them.
+func (c Config) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"artifacts":        c.Backend.IDs(),
+		"url":              "/v1/artifacts/{id}?platform={scenario}&format={text|json|csv}",
+		"default_platform": c.Backend.DefaultPlatform(),
+	})
+}
+
+// handleArtifact serves one rendered artifact. Only canonical ids name
+// /v1 resources: a figure alias is a 404 whose message points at the
+// canonical id, so every document is served from exactly one URL.
+func (c Config) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	f, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := r.PathValue("id")
+	canon, err := c.Backend.CanonicalID(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if canon != id {
+		writeError(w, http.StatusNotFound, &experiments.AliasError{Alias: id, Canonical: canon})
+		return
+	}
+	out, err := c.Backend.Rendered(r.Context(), r.URL.Query().Get("platform"), canon, f)
+	if err != nil {
+		writeStatusError(w, err)
+		return
+	}
+	writeRendered(w, f, out)
+}
+
+// handlePlatforms serves the scenario table as a negotiated document.
+func (c Config) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	c.serveDoc(w, r, platformsDoc(c.Backend.Scenarios()))
+}
+
+// handleWorkloads serves the workload table as a negotiated document.
+func (c Config) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	c.serveDoc(w, r, workloadsDoc(c.Backend.Workloads()))
+}
+
+// serveDoc renders a registry document in the negotiated format.
+func (c Config) serveDoc(w http.ResponseWriter, r *http.Request, d report.Doc) {
+	f, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := report.Render(d, f)
+	if err != nil {
+		writeStatusError(w, err)
+		return
+	}
+	writeRendered(w, f, out)
+}
+
+// handleSweep executes a sweep campaign: each axis= parameter is one
+// sweep.ParseAxis declaration (none keeps the platform's default grid),
+// artifact= picks the "sweep" (default) or "sensitivity" view. Validation
+// is the shared sweep validator — the same caps the library's
+// Service.Sweep enforces — surfacing as 400s.
+func (c Config) handleSweep(w http.ResponseWriter, r *http.Request) {
+	f, err := negotiate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	artifact := r.URL.Query().Get("artifact")
+	if artifact == "" {
+		artifact = "sweep"
+	}
+	if artifact != "sweep" && artifact != "sensitivity" {
+		writeError(w, http.StatusBadRequest,
+			errBadSweepArtifact(artifact))
+		return
+	}
+	platform := r.URL.Query().Get("platform")
+	var axes []sweep.Axis
+	for _, s := range r.URL.Query()["axis"] {
+		a, err := sweep.ParseAxis(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		axes = append(axes, a)
+	}
+	g, err := c.Backend.Grid(platform, axes...)
+	if err != nil {
+		writeStatusError(w, err)
+		return
+	}
+	camp, err := c.Backend.Sweep(r.Context(), g)
+	if err != nil {
+		writeStatusError(w, err)
+		return
+	}
+	var doc report.Doc
+	if artifact == "sensitivity" {
+		doc = camp.Sensitivity()
+	} else {
+		doc = camp.Sweep()
+	}
+	// Stamp the *scenario* name the request resolved to — not the grid's
+	// machine-config name — so the platform field round-trips through
+	// ?platform= and matches /v1/platforms (and what the CLI's seeded
+	// store emits for the same campaign).
+	if platform == "" {
+		platform = c.Backend.DefaultPlatform()
+	}
+	doc.Platform = platform
+	out, err := report.Render(doc, f)
+	if err != nil {
+		writeStatusError(w, err)
+		return
+	}
+	writeRendered(w, f, out)
+}
+
+// writeRendered emits a successful rendering with its media type.
+func writeRendered(w http.ResponseWriter, f report.Format, out string) {
+	w.Header().Set("Content-Type", report.ContentType(f))
+	_, _ = w.Write([]byte(out))
+}

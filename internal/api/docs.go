@@ -1,0 +1,48 @@
+package api
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/workloads/registry"
+)
+
+// platformsDoc reduces the scenario table to a typed document, so
+// /v1/platforms serves through the same renderers (and formats) as every
+// artifact.
+func platformsDoc(scs []scenario.Spec) report.Doc {
+	tb := report.NewTable("Platform scenarios",
+		"Name", "Description", "Capacity sweep", "Headline")
+	for _, sp := range scs {
+		fr := make([]string, len(sp.CapacityFractions))
+		for i, f := range sp.CapacityFractions {
+			fr[i] = strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		tb.Row(
+			report.Str(sp.Name),
+			report.Str(sp.Description),
+			report.Str(strings.Join(fr, "/")),
+			report.Pct(sp.HeadlineFraction),
+		)
+	}
+	return *report.New("platforms").Append(tb.Block())
+}
+
+// workloadsDoc reduces the workload table (the paper's Table 2 metadata)
+// to a typed document for /v1/workloads.
+func workloadsDoc(entries []registry.Entry) report.Doc {
+	tb := report.NewTable("Evaluated workloads",
+		"Name", "Description", "Parallelization", "Inputs (1x/2x/4x)", "Phases")
+	for _, e := range entries {
+		tb.Row(
+			report.Str(e.Name),
+			report.Str(e.Description),
+			report.Str(e.Parallelization),
+			report.Str(strings.Join(e.Inputs[:], "; ")),
+			report.Str(strings.Join(e.Phases, ",")),
+		)
+	}
+	return *report.New("workloads").Append(tb.Block())
+}

@@ -1,0 +1,77 @@
+package api
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// get restricts a route to GET/HEAD, answering anything else with a 405
+// envelope (the stock ServeMux 405 is plain text, which would break the
+// one-envelope contract).
+func get(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed (want GET)", r.Method))
+			return
+		}
+		h(w, r)
+	})
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// logging emits one line per request — method, path+query, status,
+// duration — to the configured logger; a nil logger disables it.
+func logging(l *log.Logger, h http.Handler) http.Handler {
+	if l == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sr, r)
+		l.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sr.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// recovery converts a handler panic into a 500 envelope instead of a
+// severed connection, keeping the one-envelope contract even for bugs.
+// The panic value and stack go to the standard logger so they are never
+// silently swallowed.
+func recovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Printf("api: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error: %v", v))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// deprecated mounts a legacy handler unchanged but stamps every response
+// with a Deprecation header and a successor-version Link, so clients can
+// discover the /v1 replacement without the alias breaking.
+func deprecated(h http.Handler, successor string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,32 @@
+package api
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// negotiate picks the response format: an explicit ?format= always wins
+// (and must parse — report.ParseFormat, the same parser the CLI flag
+// uses), otherwise the Accept header's media types are scanned in order
+// for the first one a renderer backs. Unrecognized Accept types are
+// skipped rather than rejected — a plain `curl` gets text — so only an
+// explicit malformed ?format= is a client error.
+func negotiate(r *http.Request) (report.Format, error) {
+	if q := r.URL.Query().Get("format"); q != "" {
+		return report.ParseFormat(q)
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mediaType, _, _ := strings.Cut(part, ";")
+		switch strings.ToLower(strings.TrimSpace(mediaType)) {
+		case "application/json":
+			return report.FormatJSON, nil
+		case "text/csv":
+			return report.FormatCSV, nil
+		case "text/plain":
+			return report.FormatText, nil
+		}
+	}
+	return report.FormatText, nil
+}

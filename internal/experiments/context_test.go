@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/workloads/registry"
+)
+
+// pollCtx is a context whose Err flips to Canceled after a fixed number of
+// polls. The engine checks the context at every task boundary, so this
+// cancels deterministically mid-run — no timers, no flakes — exercising
+// the abandonment path of a fan-out that is already deep in flight.
+type pollCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *pollCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// cancelSuite is a reduced fresh suite for cancellation tests: one
+// workload, few scheduler runs, so even the uncancelled parts stay cheap
+// (never the shared warm quickSuite — cancellation must not touch it).
+func cancelSuite() *Suite {
+	s := NewSuite(machine.Default())
+	s.Entries = registry.All()[:1]
+	s.Runs = 3
+	return s
+}
+
+// drainGoroutines polls until the goroutine count returns to within slack
+// of the baseline — the no-leak check for cancelled engine runs.
+func drainGoroutines(t *testing.T, baseline, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+slack {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d running, baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAllParallelContextCancelMidRun cancels the full engine sweep after a
+// fixed number of task-boundary polls and asserts prompt ctx.Err() return,
+// no results, and no leaked goroutines.
+func TestAllParallelContextCancelMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx := &pollCtx{Context: context.Background(), after: 40}
+	s := cancelSuite()
+	rs, err := s.AllParallelContext(ctx, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AllParallelContext = %v, want context.Canceled", err)
+	}
+	if rs != nil {
+		t.Fatal("cancelled sweep must not return results")
+	}
+	drainGoroutines(t, baseline, 2)
+	// The suite must stay usable after an abandoned sweep: the limiter is
+	// uninstalled and the campaign memo was not poisoned.
+	if testing.Short() {
+		return
+	}
+	if _, err := s.Run("table1"); err != nil {
+		t.Fatalf("suite unusable after cancelled sweep: %v", err)
+	}
+}
+
+// TestRunContextCancelMidDriver cancels a single driver mid-run through
+// its fan-out polls. The threshold is small on purpose: the reduced
+// figure13 driver polls the context only a handful of times (entry check,
+// one workload task, six Monte-Carlo claims, the exit check), and the
+// cancel must land inside that window.
+func TestRunContextCancelMidDriver(t *testing.T) {
+	ctx := &pollCtx{Context: context.Background(), after: 4}
+	s := cancelSuite()
+	if _, err := s.RunContext(ctx, "figure13"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextPreCancelled pins the entry fast path.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := cancelSuite()
+	if _, err := s.RunContext(ctx, "table1"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if _, err := s.AllParallelContext(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AllParallelContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunSweepContextCancelNotMemoized asserts an abandoned campaign does
+// not poison the single-flight memo: the same grid re-runs successfully
+// afterwards.
+func TestRunSweepContextCancelNotMemoized(t *testing.T) {
+	s := cancelSuite()
+	g := s.SweepGrid(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunSweepContext(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunSweepContext = %v, want context.Canceled", err)
+	}
+	if testing.Short() {
+		t.Skip("uncancelled re-run is full-tier work")
+	}
+	c, err := s.RunSweepContext(context.Background(), g)
+	if err != nil || c == nil {
+		t.Fatalf("re-run after cancelled campaign = %v, %v; memo poisoned?", c, err)
+	}
+}
+
+// TestRunContextUncancelledMatchesRun is the byte-identical guarantee on
+// the driver path: a live context changes nothing.
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	want, err := cancelSuite().Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cancelSuite().RunContext(context.Background(), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Errorf("RunContext render differs from Run (%d vs %d bytes)",
+			len(got.Render()), len(want.Render()))
+	}
+}

@@ -20,6 +20,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -57,9 +59,24 @@ type Suite struct {
 	// capacity points and Monte-Carlo runs. Values <= 1 mean sequential.
 	// Results do not depend on it. Do not change it while drivers run.
 	Workers int
-	// limiter, when set (AllParallel installs one for the duration of a
-	// sweep), is the single concurrency budget every fan-out level draws
-	// from, so nesting never multiplies the worker count.
+	// Limiter, when non-nil, is the externally owned concurrency budget
+	// engine invocations draw from in place of a fresh per-invocation
+	// limiter of Workers width. A Service installs one shared limiter on
+	// every suite it builds, so concurrent invocations across suites stay
+	// inside one budget instead of multiplying it. Set before first use.
+	Limiter *pool.Limiter
+	// invoke is a one-slot semaphore serializing top-level engine
+	// invocations that install the shared limiter (RunContext,
+	// AllParallelContext, RunSweepContext): the context-first entry
+	// points are safe to call concurrently — they queue, and a queued
+	// caller whose context dies abandons the wait immediately — while
+	// the engine-internal paths (drivers, defaultCampaign) run lock-free
+	// inside whichever invocation is active.
+	invoke chan struct{}
+	// limiter, when set (the context-first entry points install one for
+	// the duration of an invocation), is the single concurrency budget
+	// every fan-out level draws from, so nesting never multiplies the
+	// worker count.
 	limiter *pool.Limiter
 	// scenMu guards scenProfs, the per-scenario profilers of the
 	// cross-scenario driver (memoized so repeated sweeps share caches).
@@ -81,8 +98,24 @@ func NewSuite(cfg machine.Config) *Suite {
 		Runs:      100,
 		Fractions: append([]float64(nil), CapacityFractions...),
 		Headline:  0.50,
+		invoke:    make(chan struct{}, 1),
 	}
 }
+
+// acquireInvoke takes the invocation slot, abandoning with ctx.Err() if
+// ctx dies while queued behind another invocation. The caller must
+// releaseInvoke on success.
+func (s *Suite) acquireInvoke(ctx context.Context) error {
+	select {
+	case s.invoke <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseInvoke frees the invocation slot.
+func (s *Suite) releaseInvoke() { <-s.invoke }
 
 // NewSuiteFor returns a suite on a scenario's platform with the scenario's
 // capacity sweep installed, so every driver reproduces the paper's protocol
@@ -132,13 +165,18 @@ func (s *Suite) workers() int {
 	return s.Workers
 }
 
-// lim returns the suite's shared concurrency limiter when one is installed
-// (during AllParallel), or a fresh limiter of the configured width for a
-// stand-alone driver call. Drivers fetch it once and pass it to every
-// fan-out they perform, including nested Monte-Carlo sweeps.
+// lim returns the limiter an engine fan-out draws from: the
+// invocation-installed limiter (context-first entry points install one for
+// their duration), else the externally owned shared Limiter, else a fresh
+// limiter of the configured width for a stand-alone driver call. Drivers
+// fetch it once and pass it to every fan-out they perform, including
+// nested Monte-Carlo sweeps.
 func (s *Suite) lim() *pool.Limiter {
 	if s.limiter != nil {
 		return s.limiter
+	}
+	if s.Limiter != nil {
+		return s.Limiter
 	}
 	return pool.NewLimiter(s.workers())
 }
@@ -174,10 +212,40 @@ var IDs = []string{
 	"scenarios", "sweep", "sensitivity",
 }
 
+// ErrUnknownID marks a failed artifact-id lookup: every error CanonicalID
+// returns for an id that is neither canonical nor an alias matches
+// errors.Is(err, ErrUnknownID), so request boundaries classify it as
+// not-found without string matching.
+var ErrUnknownID = errors.New("experiments: unknown id")
+
+// unknownIDError is a lookup failure matching ErrUnknownID.
+type unknownIDError struct{ msg string }
+
+func (e *unknownIDError) Error() string        { return e.msg }
+func (e *unknownIDError) Is(target error) bool { return target == ErrUnknownID }
+
+// AliasError reports a request that used a figure alias where a canonical
+// artifact id is required (store keys, /v1 URLs, -out filenames): the
+// caller should retry with Canonical. It matches ErrUnknownID under
+// errors.Is — an alias is not the resource's name — while carrying the
+// redirect target for surfaces that can point the client at it.
+type AliasError struct {
+	// Alias is the rejected spelling; Canonical the id to request instead.
+	Alias, Canonical string
+}
+
+// Error implements error.
+func (e *AliasError) Error() string {
+	return fmt.Sprintf("%q is an alias: request %q", e.Alias, e.Canonical)
+}
+
+// Is reports alias errors as unknown-id errors for status classification.
+func (e *AliasError) Is(target error) bool { return target == ErrUnknownID }
+
 // CanonicalID resolves an experiment id or figure alias ("fig9") to its
 // canonical artifact id ("figure9") — the id results report, artifact
 // stores key on, and `-out` files are named after. It is the single alias
-// mechanism: Run resolves through it too.
+// mechanism: Run resolves through it too. The failure matches ErrUnknownID.
 func CanonicalID(id string) (string, error) {
 	for _, known := range IDs {
 		if id == known {
@@ -187,7 +255,7 @@ func CanonicalID(id string) (string, error) {
 			return known, nil
 		}
 	}
-	return "", fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs, ", "))
+	return "", &unknownIDError{msg: fmt.Sprintf("experiments: unknown id %q (known: %s)", id, strings.Join(IDs, ", "))}
 }
 
 // Run executes the experiment with the given ID (canonical or alias).
@@ -231,6 +299,39 @@ func (s *Suite) Run(id string) (Result, error) {
 	panic("experiments: CanonicalID returned an unhandled id " + canon) // unreachable
 }
 
+// RunContext is Run bounded by ctx: the driver's fan-outs (and any nested
+// Monte-Carlo sweeps) draw from a context-carrying limiter, so once ctx is
+// done no new task starts and the call returns ctx.Err() within one task
+// boundary — the context-first execution path repro.Service.Artifact rides
+// on. An uncancelled RunContext returns exactly Run's result.
+//
+// Concurrent context-first invocations on one Suite serialize (the engine
+// parallelizes internally); a queued caller whose ctx dies still waits for
+// its turn before returning the error.
+func (s *Suite) RunContext(ctx context.Context, id string) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.acquireInvoke(ctx); err != nil {
+		return nil, err
+	}
+	defer s.releaseInvoke()
+	l := s.lim().WithContext(ctx)
+	prev := s.limiter
+	s.limiter = l
+	defer func() { s.limiter = prev }()
+	r, err := s.Run(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Err(); err != nil {
+		// Abandoned mid-driver: the result holds partially zeroed
+		// measurements, so it must not escape.
+		return nil, err
+	}
+	return r, nil
+}
+
 // All runs every experiment in paper order.
 func (s *Suite) All() []Result {
 	out := make([]Result, 0, len(IDs))
@@ -258,20 +359,54 @@ func (s *Suite) All() []Result {
 // on the same Suite (the engine parallelizes internally; outer concurrency
 // would race on the limiter field).
 func (s *Suite) AllParallel(workers int) []Result {
+	rs, err := s.AllParallelContext(context.Background(), workers)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return rs
+}
+
+// AllParallelContext is AllParallel bounded by ctx: the experiment-level
+// fan-out, every driver's internal fan-out and the nested Monte-Carlo
+// sweeps all draw from one context-carrying limiter, so once ctx is done
+// no new task anywhere in the engine starts and the call returns ctx.Err()
+// within one task boundary, with no goroutine left running. An uncancelled
+// call returns exactly AllParallel's results.
+func (s *Suite) AllParallelContext(ctx context.Context, workers int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.acquireInvoke(ctx); err != nil {
+		return nil, err
+	}
+	defer s.releaseInvoke()
 	if workers < 1 {
 		workers = 1
 	}
 	// While the limiter is installed every fan-out draws from it, so
 	// Suite.Workers is deliberately left alone — it only matters for
-	// stand-alone driver calls.
+	// stand-alone driver calls. An externally owned shared Limiter wins
+	// over the workers argument: the whole point of sharing is that no
+	// invocation brings its own budget.
+	base := s.Limiter
+	if base == nil {
+		base = pool.NewLimiter(workers)
+	}
 	prev := s.limiter
-	s.limiter = pool.NewLimiter(workers)
+	l := base.WithContext(ctx)
+	s.limiter = l
 	defer func() { s.limiter = prev }()
-	return pool.Map(s.limiter, len(IDs), func(i int) Result {
+	rs := pool.Map(l, len(IDs), func(i int) Result {
 		r, err := s.Run(IDs[i])
 		if err != nil {
 			panic(err) // unreachable: IDs only contains known ids
 		}
 		return r
 	})
+	if err := l.Err(); err != nil {
+		// Abandoned mid-sweep: unstarted drivers left nil slots and started
+		// ones may hold partially zeroed measurements — discard them all.
+		return nil, err
+	}
+	return rs, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/report"
@@ -57,6 +59,34 @@ const maxCampaigns = 16
 // same grid share one execution. (The memo assumes Entries and Runs are
 // configured before the first campaign runs, like the other suite fields.)
 func (s *Suite) RunSweep(g sweep.Grid) (*sweep.Campaign, error) {
+	return s.RunSweepContext(context.Background(), g)
+}
+
+// RunSweepContext is RunSweep bounded by ctx: the campaign's fan-out draws
+// from a context-carrying limiter, so once ctx is done the call returns
+// ctx.Err() within one cell boundary (see sweep.Runner.RunContext). An
+// abandoned campaign is never memoized — the single-flight slot is dropped
+// so the next request for the grid re-runs it. An uncancelled call
+// memoizes and returns exactly RunSweep's campaign. Like the other
+// context-first entry points, concurrent invocations on one Suite
+// serialize.
+func (s *Suite) RunSweepContext(ctx context.Context, g sweep.Grid) (*sweep.Campaign, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.acquireInvoke(ctx); err != nil {
+		return nil, err
+	}
+	defer s.releaseInvoke()
+	return s.runSweepLocked(ctx, g)
+}
+
+// runSweepLocked is the memoized campaign executor. It must run inside an
+// engine invocation: either holding the invocation slot (the
+// RunSweepContext entry point) or on the engine's own task tree (the
+// sweep/sensitivity drivers via defaultCampaign), where the installed
+// limiter is safe to read.
+func (s *Suite) runSweepLocked(ctx context.Context, g sweep.Grid) (*sweep.Campaign, error) {
 	key := g.Key()
 	s.sweepMu.Lock()
 	if s.sweeps == nil {
@@ -83,15 +113,35 @@ func (s *Suite) RunSweep(g sweep.Grid) (*sweep.Campaign, error) {
 			Runs:         s.Runs,
 			BaseProfiler: s.Profiler,
 		}
-		e.c, e.err = r.Run(s.lim())
+		e.c, e.err = r.RunContext(ctx, s.lim())
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Do not let an abandoned execution poison the memo: a later,
+		// uncancelled request must be able to run the grid afresh.
+		s.sweepMu.Lock()
+		if s.sweeps[key] == e {
+			delete(s.sweeps, key)
+		}
+		s.sweepMu.Unlock()
+	}
 	return e.c, e.err
 }
 
 // defaultCampaign runs (or returns the memoized) default-grid campaign.
+// It is the engine-internal path of the sweep/sensitivity drivers — called
+// from inside a running invocation, so it must not take the invocation
+// slot.
 func (s *Suite) defaultCampaign() *sweep.Campaign {
-	c, err := s.RunSweep(s.SweepGrid(nil))
+	c, err := s.runSweepLocked(context.Background(), s.SweepGrid(nil))
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The engine's installed context died mid-campaign (the grid
+			// itself always validates). The driver's result is discarded by
+			// the cancelled RunContext/AllParallelContext anyway, so an
+			// empty campaign placeholder (frontier indices -1, like an
+			// empty grid's) never escapes.
+			return &sweep.Campaign{Best: -1, Worst: -1}
+		}
 		panic(err) // unreachable: the default grid always validates
 	}
 	return c

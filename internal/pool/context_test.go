@@ -1,0 +1,93 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachContextCancelSequential pins the sequential cancellation
+// contract: the task that observes the cancel is the last to run, every
+// later index is skipped, and Err reports the context error.
+func TestForEachContextCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var l *Limiter // nil: sequential
+	cl := l.WithContext(ctx)
+	ran := 0
+	cl.ForEach(10, func(i int) {
+		ran++
+		if i == 2 {
+			cancel()
+		}
+	})
+	if ran != 3 {
+		t.Errorf("ran %d tasks after cancel at index 2, want 3", ran)
+	}
+	if !errors.Is(cl.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", cl.Err())
+	}
+}
+
+// TestForEachContextCancelParallel checks the parallel path: after a task
+// cancels, the claim counter stops handing out indices (in-flight tasks
+// finish), ForEach returns without leaking workers, and Err reports the
+// cancellation.
+func TestForEachContextCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cl := NewLimiter(4).WithContext(ctx)
+	var ran atomic.Int64
+	cl.ForEach(1000, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if n := ran.Load(); n < 5 || n >= 1000 {
+		t.Errorf("ran %d of 1000 tasks, want >=5 (cancel fired) and <1000 (claiming stopped)", n)
+	}
+	if !errors.Is(cl.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", cl.Err())
+	}
+}
+
+// TestWithContextChains pins the chain semantics: wrapping an
+// already-gated limiter with a fresh (even background) context never
+// un-cancels the outer gate, and the shared budget is preserved.
+func TestWithContextChains(t *testing.T) {
+	outer, cancel := context.WithCancel(context.Background())
+	cancel()
+	l := NewLimiter(4).WithContext(outer)
+	rewrapped := l.WithContext(context.Background())
+	if !errors.Is(rewrapped.Err(), context.Canceled) {
+		t.Fatalf("rewrapping with a background context dropped the outer cancel: Err() = %v", rewrapped.Err())
+	}
+	ran := false
+	rewrapped.ForEach(4, func(int) { ran = true })
+	if ran {
+		t.Error("task ran under a cancelled outer context")
+	}
+	// An untouched limiter is unaffected by derived gates.
+	base := NewLimiter(2)
+	_ = base.WithContext(outer)
+	if base.Err() != nil {
+		t.Errorf("deriving a gated limiter mutated the base: Err() = %v", base.Err())
+	}
+}
+
+// TestMapContextCancelLeavesZeroSlots checks the documented contract that
+// skipped indices keep their zero values, so a caller that consults Err
+// never consumes a partial result unknowingly.
+func TestMapContextCancelLeavesZeroSlots(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := NewLimiter(1).WithContext(ctx)
+	out := Map(cl, 4, func(i int) int { return i + 1 })
+	for i, v := range out {
+		if v != 0 {
+			t.Errorf("out[%d] = %d under a pre-cancelled context, want 0", i, v)
+		}
+	}
+	if !errors.Is(cl.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", cl.Err())
+	}
+}

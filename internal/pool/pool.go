@@ -14,6 +14,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,10 +38,25 @@ func Workers(n int) int {
 // owns instead of spawning more.
 //
 // A nil *Limiter is valid and means "sequential".
+//
+// A limiter may carry a context (WithContext): once the context is done, no
+// new task starts — ForEach skips every index it has not yet begun, leaving
+// the corresponding result slots at their zero values, and returns after
+// in-flight tasks complete. Callers that installed a context check Err
+// after the fan-out to distinguish a complete sweep from an abandoned one.
+// Cancellation is cooperative at task granularity: it never interrupts a
+// running task and never leaks the worker goroutines, which always drain
+// and exit on their own.
 type Limiter struct {
 	// sem holds width-1 tokens: every ForEach caller contributes its own
 	// goroutine, so the running-task total is tokens + 1.
 	sem chan struct{}
+	// ctxs are the contexts gating the start of every task, outermost
+	// first. A chain — not a single slot — so nesting composes: wrapping an
+	// engine-owned limiter with a narrower (or background) context never
+	// un-cancels the outer one. Cancellation is polled at task boundaries,
+	// never waited on, which is what makes a chain cheap.
+	ctxs []context.Context
 }
 
 // NewLimiter returns a limiter admitting at most width concurrently
@@ -53,6 +69,35 @@ func NewLimiter(width int) *Limiter {
 	return l
 }
 
+// WithContext returns a limiter sharing this limiter's concurrency budget
+// and additionally gated by ctx: once ctx — or any context the receiver
+// already carried — is done, the returned limiter starts no new task (see
+// the Limiter contract). The receiver is not modified, and a nil receiver
+// yields a sequential but cancelable limiter.
+func (l *Limiter) WithContext(ctx context.Context) *Limiter {
+	if l == nil {
+		return &Limiter{ctxs: []context.Context{ctx}}
+	}
+	ctxs := make([]context.Context, 0, len(l.ctxs)+1)
+	ctxs = append(append(ctxs, l.ctxs...), ctx)
+	return &Limiter{sem: l.sem, ctxs: ctxs}
+}
+
+// Err reports why the limiter stopped admitting tasks: the first done
+// carried context's error, or nil for a context-free (or still-live)
+// limiter.
+func (l *Limiter) Err() error {
+	if l == nil {
+		return nil
+	}
+	for _, ctx := range l.ctxs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ForEach runs fn(i) for every i in [0, n) within the limiter's budget and
 // returns when all calls have completed. The caller claims indices from a
 // shared counter and, per index, either hands it to a freshly spawned
@@ -61,18 +106,27 @@ func NewLimiter(width int) *Limiter {
 // runs it inline (budget exhausted). ForEach therefore never blocks
 // waiting for capacity and never deadlocks under nesting. fn must be safe
 // to call concurrently; fn(i) must write only to state owned by index i.
+//
+// When the limiter carries a context (WithContext), a done context stops
+// the claim counter: indices not yet started are skipped — their result
+// slots keep their zero values — while in-flight calls run to completion
+// before ForEach returns, so no goroutine outlives the call. Check Err to
+// detect the abandonment.
 func (l *Limiter) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if l == nil || l.sem == nil {
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && l.Err() == nil; i++ {
 			fn(i)
 		}
 		return
 	}
 	var next atomic.Int64
 	claim := func() int {
+		if l.Err() != nil {
+			return -1
+		}
 		if i := int(next.Add(1)) - 1; i < n {
 			return i
 		}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -174,7 +175,7 @@ func TestRenderTextBlocks(t *testing.T) {
 // NOT memoized (see Store.Doc).
 func TestStoreMemoizes(t *testing.T) {
 	calls := map[string]int{}
-	st := NewStore(func(platform, artifact string) (Doc, error) {
+	st := NewStore(func(_ context.Context, platform, artifact string) (Doc, error) {
 		calls[platform+"/"+artifact]++
 		if artifact == "missing" {
 			return Doc{}, fmt.Errorf("no such artifact")
@@ -185,7 +186,7 @@ func TestStoreMemoizes(t *testing.T) {
 	})
 	for i := 0; i < 3; i++ {
 		for _, f := range Formats {
-			if _, err := st.Artifact("baseline", "demo", f); err != nil {
+			if _, err := st.Artifact(context.Background(), "baseline", "demo", f); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -198,7 +199,7 @@ func TestStoreMemoizes(t *testing.T) {
 		t.Errorf("cached docs=%d renders=%d, want 1 and 3", docs, renders)
 	}
 	// The doc is stamped with the platform it was fetched under.
-	d, err := st.Doc("baseline", "demo")
+	d, err := st.Doc(context.Background(), "baseline", "demo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestStoreMemoizes(t *testing.T) {
 	// by request-controlled strings would let a misbehaving client grow the
 	// store without limit, and unknown ids fail fast in the source.
 	for i := 0; i < 2; i++ {
-		if _, err := st.Artifact("baseline", "missing", FormatText); err == nil {
+		if _, err := st.Artifact(context.Background(), "baseline", "missing", FormatText); err == nil {
 			t.Fatal("missing artifact should error")
 		}
 	}
@@ -220,7 +221,7 @@ func TestStoreMemoizes(t *testing.T) {
 	seeded := testDoc()
 	seeded.Artifact = "seeded"
 	st.Put("baseline", seeded)
-	if _, err := st.Artifact("baseline", "seeded", FormatJSON); err != nil {
+	if _, err := st.Artifact(context.Background(), "baseline", "seeded", FormatJSON); err != nil {
 		t.Fatal(err)
 	}
 	if calls["baseline/seeded"] != 0 {
@@ -231,17 +232,17 @@ func TestStoreMemoizes(t *testing.T) {
 // TestStorePutInvalidatesRenders checks a re-Put drops stale renders so
 // Doc and Artifact never disagree.
 func TestStorePutInvalidatesRenders(t *testing.T) {
-	st := NewStore(func(platform, artifact string) (Doc, error) {
+	st := NewStore(func(_ context.Context, platform, artifact string) (Doc, error) {
 		return Doc{}, fmt.Errorf("source should not be called")
 	})
 	v1 := *New("a").Append(NoteBlock("v1\n"))
 	st.Put("baseline", v1)
-	if out, err := st.Artifact("baseline", "a", FormatText); err != nil || out != "v1\n" {
+	if out, err := st.Artifact(context.Background(), "baseline", "a", FormatText); err != nil || out != "v1\n" {
 		t.Fatalf("v1 render: %q, %v", out, err)
 	}
 	v2 := *New("a").Append(NoteBlock("v2\n"))
 	st.Put("baseline", v2)
-	if out, err := st.Artifact("baseline", "a", FormatText); err != nil || out != "v2\n" {
+	if out, err := st.Artifact(context.Background(), "baseline", "a", FormatText); err != nil || out != "v2\n" {
 		t.Errorf("render after re-Put: %q, %v (stale cache?)", out, err)
 	}
 }
@@ -271,11 +272,11 @@ func TestRenderTextMalformedSeries(t *testing.T) {
 // exactly the condition Artifact checks before caching, so the stale
 // render is discarded instead of being served forever.
 func TestStorePutDuringRender(t *testing.T) {
-	st := NewStore(func(platform, artifact string) (Doc, error) {
+	st := NewStore(func(_ context.Context, platform, artifact string) (Doc, error) {
 		return *New(artifact).Append(NoteBlock("v1\n")), nil
 	})
 	// The in-flight fetch, as Artifact performs it on a cache miss.
-	_, gen, err := st.doc("baseline", "a")
+	_, gen, err := st.doc(context.Background(), "baseline", "a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,20 +289,20 @@ func TestStorePutDuringRender(t *testing.T) {
 		t.Fatal("Put did not bump the generation; an in-flight stale render would be cached")
 	}
 	// The next Artifact serves the new document.
-	if out, err := st.Artifact("baseline", "a", FormatText); err != nil || out != "v2\n" {
+	if out, err := st.Artifact(context.Background(), "baseline", "a", FormatText); err != nil || out != "v2\n" {
 		t.Errorf("Artifact after racing Put = %q, %v; want v2", out, err)
 	}
 }
 
 // TestStoreWriteDir checks the artifact directory layout.
 func TestStoreWriteDir(t *testing.T) {
-	st := NewStore(func(platform, artifact string) (Doc, error) {
+	st := NewStore(func(_ context.Context, platform, artifact string) (Doc, error) {
 		d := testDoc()
 		d.Artifact = artifact
 		return d, nil
 	})
 	dir := t.TempDir()
-	paths, err := st.WriteDir(dir, "baseline", []string{"figure9", "table1"})
+	paths, err := st.WriteDir(context.Background(), dir, "baseline", []string{"figure9", "table1"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestStoreWriteDir(t *testing.T) {
 // TestHandler checks the HTTP surface: the index, per-format content
 // types, and error mapping.
 func TestHandler(t *testing.T) {
-	st := NewStore(func(platform, artifact string) (Doc, error) {
+	st := NewStore(func(_ context.Context, platform, artifact string) (Doc, error) {
 		if platform != "baseline" && platform != "cxl-gen5" {
 			return Doc{}, fmt.Errorf("unknown scenario %q", platform)
 		}

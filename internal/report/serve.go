@@ -18,7 +18,7 @@ var contentTypes = map[Format]string{
 // documents with the same headers as the artifact handler.
 func ContentType(f Format) string { return contentTypes[f] }
 
-// Handler serves the store over HTTP — the capstone of the pipeline: any
+// Handler serves the store over HTTP — the pre-/v1 artifact surface: any
 // artifact, any platform, any format, straight from the memoized store.
 //
 //	GET /                             index of artifact URLs
@@ -27,7 +27,14 @@ func ContentType(f Format) string { return contentTypes[f] }
 //
 // artifacts is the id list the index advertises; platform defaults to
 // defaultPlatform when the query omits it. Unknown artifacts or platforms
-// surface the source's error as 404.
+// surface the source's error as 404. Document computation is bounded by
+// each request's context: a client that disconnects mid-computation stops
+// the experiment engine at its next task boundary.
+//
+// Deprecated: this is the legacy plain-text-error surface, kept mounted as
+// a compatibility alias. New clients should use the versioned /v1 API
+// (internal/api), which adds content negotiation and a structured JSON
+// error envelope.
 func (st *Store) Handler(artifacts []string, defaultPlatform string) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -51,23 +58,16 @@ func (st *Store) Handler(artifacts []string, defaultPlatform string) http.Handle
 			return
 		}
 		id, ext := name[:dot], name[dot+1:]
-		var format Format
-		switch ext {
-		case "txt":
-			format = FormatText
-		case "json":
-			format = FormatJSON
-		case "csv":
-			format = FormatCSV
-		default:
-			http.Error(w, fmt.Sprintf("unknown format %q (want txt, json or csv)", ext), http.StatusBadRequest)
+		format, err := ParseFormat(ext)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		platform := r.URL.Query().Get("platform")
 		if platform == "" {
 			platform = defaultPlatform
 		}
-		out, err := st.Artifact(platform, id, format)
+		out, err := st.Artifact(r.Context(), platform, id, format)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
@@ -8,8 +9,10 @@ import (
 
 // Source computes the document of one artifact on one platform. It is the
 // seam between measurement and presentation: the experiment suites sit
-// behind a Source, the Store and every renderer sit in front of it.
-type Source func(platform, artifact string) (Doc, error)
+// behind a Source, the Store and every renderer sit in front of it. The
+// context bounds the computation — sources built on the experiment engine
+// stop at the next task boundary and return ctx.Err() when it is done.
+type Source func(ctx context.Context, platform, artifact string) (Doc, error)
 
 // Store memoizes artifact documents and their renders: each (platform,
 // artifact) document is computed once and each (platform, artifact, format)
@@ -18,10 +21,17 @@ type Source func(platform, artifact string) (Doc, error)
 type Store struct {
 	src Source
 
-	// mu guards docs and is held across source computation, serializing
-	// document builds. renderMu guards rendered and is never held across
-	// computation, so cached renders stay instant while a cold document
-	// computes. Lock order when both are needed: mu, then renderMu.
+	// compute is a one-slot semaphore serializing document computation (one
+	// suite's drivers must not run concurrently with another's — the suites
+	// parallelize internally). Waiters block on it context-aware: a caller
+	// whose ctx dies while another document computes abandons the wait
+	// immediately instead of queueing behind a long experiment.
+	compute chan struct{}
+
+	// mu guards docs and renderMu guards rendered; neither is ever held
+	// across source computation or rendering, so cached responses stay
+	// instant while a cold document computes. Lock order when both are
+	// needed: mu, then renderMu.
 	mu       sync.Mutex
 	docs     map[[2]string]docEntry
 	renderMu sync.Mutex
@@ -40,6 +50,7 @@ type docEntry struct {
 func NewStore(src Source) *Store {
 	return &Store{
 		src:      src,
+		compute:  make(chan struct{}, 1),
 		docs:     map[[2]string]docEntry{},
 		rendered: map[[3]string]string{},
 	}
@@ -51,31 +62,58 @@ func NewStore(src Source) *Store {
 // source, and an unbounded error cache keyed by request-controlled strings
 // would let a misbehaving client grow the store without limit.
 //
-// Computation happens under the store lock: concurrent requests for
-// different artifacts serialize, which keeps one suite's drivers from
+// Computation is serialized store-wide: concurrent requests for different
+// cold artifacts run one at a time, which keeps one suite's drivers from
 // running concurrently with each other (the suites parallelize internally).
-func (st *Store) Doc(platform, artifact string) (Doc, error) {
-	d, _, err := st.doc(platform, artifact)
+// The wait for the computation slot is context-aware — a cancelled caller
+// returns ctx.Err() immediately, even while another document computes —
+// and ctx is handed to the source, so the computation itself stops at its
+// next task boundary once ctx is done.
+func (st *Store) Doc(ctx context.Context, platform, artifact string) (Doc, error) {
+	d, _, err := st.doc(ctx, platform, artifact)
 	return d, err
 }
 
-// doc is Doc plus the entry's generation for Artifact's cache guard.
-func (st *Store) doc(platform, artifact string) (Doc, uint64, error) {
-	key := [2]string{platform, artifact}
+// cached returns the memoized entry for a key, if present.
+func (st *Store) cached(key [2]string) (docEntry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if e, ok := st.docs[key]; ok {
+	e, ok := st.docs[key]
+	return e, ok
+}
+
+// doc is Doc plus the entry's generation for Artifact's cache guard.
+func (st *Store) doc(ctx context.Context, platform, artifact string) (Doc, uint64, error) {
+	key := [2]string{platform, artifact}
+	if e, ok := st.cached(key); ok {
 		return e.doc, e.gen, nil
 	}
-	d, err := st.src(platform, artifact)
+	// Cold: take the store-wide computation slot, abandoning on ctx death.
+	select {
+	case st.compute <- struct{}{}:
+		defer func() { <-st.compute }()
+	case <-ctx.Done():
+		return Doc{}, 0, ctx.Err()
+	}
+	// Another holder of the slot (or a Put) may have filled the entry while
+	// we waited.
+	if e, ok := st.cached(key); ok {
+		return e.doc, e.gen, nil
+	}
+	d, err := st.src(ctx, platform, artifact)
 	if err != nil {
 		return Doc{}, 0, err
 	}
 	if d.Platform == "" {
 		d.Platform = platform
 	}
-	st.docs[key] = docEntry{doc: d, gen: 1}
-	return d, 1, nil
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// A concurrent Put may have landed during computation; matching its
+	// generation bump keeps the Artifact cache guard sound either way.
+	gen := st.docs[key].gen + 1
+	st.docs[key] = docEntry{doc: d, gen: gen}
+	return d, gen, nil
 }
 
 // Put seeds the store with a precomputed document keyed by the given
@@ -102,7 +140,7 @@ func (st *Store) Put(platform string, d Doc) {
 // Artifact returns the memoized render of an artifact on a platform in a
 // format. A cached render is returned without touching the document path,
 // so cold computations of other artifacts never block cached responses.
-func (st *Store) Artifact(platform, artifact string, f Format) (string, error) {
+func (st *Store) Artifact(ctx context.Context, platform, artifact string, f Format) (string, error) {
 	key := [3]string{platform, artifact, string(f)}
 	st.renderMu.Lock()
 	out, ok := st.rendered[key]
@@ -110,7 +148,7 @@ func (st *Store) Artifact(platform, artifact string, f Format) (string, error) {
 	if ok {
 		return out, nil
 	}
-	d, gen, err := st.doc(platform, artifact)
+	d, gen, err := st.doc(ctx, platform, artifact)
 	if err != nil {
 		return "", err
 	}
@@ -133,7 +171,7 @@ func (st *Store) Artifact(platform, artifact string, f Format) (string, error) {
 // WriteDir renders each artifact in each format and writes the files into
 // dir as <artifact>.<ext> (figure9.txt, figure9.json, figure9.csv, ...),
 // creating dir if needed. It returns the written file paths in order.
-func (st *Store) WriteDir(dir, platform string, artifacts []string, formats ...Format) ([]string, error) {
+func (st *Store) WriteDir(ctx context.Context, dir, platform string, artifacts []string, formats ...Format) ([]string, error) {
 	if len(formats) == 0 {
 		formats = Formats
 	}
@@ -143,7 +181,7 @@ func (st *Store) WriteDir(dir, platform string, artifacts []string, formats ...F
 	var paths []string
 	for _, id := range artifacts {
 		for _, f := range formats {
-			out, err := st.Artifact(platform, id, f)
+			out, err := st.Artifact(ctx, platform, id, f)
 			if err != nil {
 				return paths, err
 			}

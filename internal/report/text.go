@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/textplot"
 )
@@ -28,18 +29,44 @@ func (f Format) Ext() string {
 	return string(f)
 }
 
-// ParseFormat resolves a -format flag or query value. The file extension
-// "txt" is accepted as an alias for "text", so the same parser serves CLI
-// flags and the URLs WriteDir/Handler derive from Ext.
+// FormatError reports an unparseable format spelling together with the
+// full accepted vocabulary — every entry point (CLI flags, file
+// extensions, query parameters, Accept negotiation) fails with the same
+// structured error, and the HTTP layer's JSON error envelope embeds
+// Accepted verbatim so clients can self-correct.
+type FormatError struct {
+	// Got is the rejected spelling.
+	Got string
+	// Accepted lists every accepted spelling: the canonical format names
+	// plus the "txt" extension alias.
+	Accepted []string
+}
+
+// AcceptedFormats returns every spelling ParseFormat accepts, canonical
+// names first.
+func AcceptedFormats() []string { return []string{"text", "json", "csv", "txt"} }
+
+// Error implements error.
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("report: unknown format %q (known: %s)", e.Got, strings.Join(e.Accepted, ", "))
+}
+
+// ParseFormat resolves a -format flag, query value or file extension. All
+// spellings are case-insensitive, and the extension "txt" is accepted
+// everywhere as an alias for "text" — the CLI, the artifact URLs WriteDir
+// and the HTTP handlers derive from Ext, and the /v1 query parameters all
+// share this one parser. Failure returns a *FormatError listing the
+// accepted spellings.
 func ParseFormat(s string) (Format, error) {
-	if s == "txt" {
+	switch strings.ToLower(s) {
+	case "txt", "text":
 		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
 	}
-	switch Format(s) {
-	case FormatText, FormatJSON, FormatCSV:
-		return Format(s), nil
-	}
-	return "", fmt.Errorf("report: unknown format %q (known: text, json, csv)", s)
+	return "", &FormatError{Got: s, Accepted: AcceptedFormats()}
 }
 
 // Render renders the document in the given format.

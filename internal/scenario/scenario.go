@@ -15,11 +15,25 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/machine"
 )
+
+// ErrUnknown marks a failed scenario lookup: every error returned by Get
+// and GetFrom matches errors.Is(err, ErrUnknown), so request boundaries
+// (the HTTP layer) classify a bad platform name as not-found without
+// string matching. The error text itself stays the CLI-pinned
+// names-listing diagnostic.
+var ErrUnknown = errors.New("scenario: unknown scenario")
+
+// notFoundError is a lookup failure matching ErrUnknown under errors.Is.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string        { return e.msg }
+func (e *notFoundError) Is(target error) bool { return target == ErrUnknown }
 
 // Spec is one named platform scenario: a full platform configuration plus
 // the capacity protocol to sweep on it.
@@ -151,15 +165,23 @@ func All() []Spec {
 // Default returns the baseline scenario (the paper's testbed).
 func Default() Spec { return All()[0] }
 
-// Get returns the scenario with the given name.
-func Get(name string) (Spec, error) {
-	for _, s := range All() {
+// Get returns the registered scenario with the given name. The failure
+// matches ErrUnknown and lists every registered name.
+func Get(name string) (Spec, error) { return GetFrom(All(), name) }
+
+// GetFrom returns the scenario with the given name from an explicit spec
+// set — the lookup a Service restricted to a scenario subset performs. The
+// failure matches ErrUnknown and lists the set's names.
+func GetFrom(specs []Spec, name string) (Spec, error) {
+	known := make([]string, len(specs))
+	for i, s := range specs {
 		if s.Name == name {
 			return s, nil
 		}
+		known[i] = s.Name
 	}
-	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %s)",
-		name, strings.Join(Names(), ", "))
+	return Spec{}, &notFoundError{msg: fmt.Sprintf("scenario: unknown scenario %q (known: %s)",
+		name, strings.Join(known, ", "))}
 }
 
 // Names returns the scenario names in table order.

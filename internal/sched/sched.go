@@ -25,6 +25,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -113,6 +114,19 @@ func DistributionLimited(cfg machine.Config, phases []machine.PhaseStats, pol In
 	return times
 }
 
+// DistributionContext is DistributionLimited gated by ctx: once ctx is
+// done no further simulation starts, and the call returns ctx.Err() with a
+// nil slice. An uncancelled call returns exactly DistributionLimited's
+// times — cancellation awareness never perturbs the substream decomposition.
+func DistributionContext(ctx context.Context, cfg machine.Config, phases []machine.PhaseStats, pol Interference, n int, seed uint64, l *pool.Limiter) ([]float64, error) {
+	cl := l.WithContext(ctx)
+	times := DistributionLimited(cfg, phases, pol, n, seed, cl)
+	if err := cl.Err(); err != nil {
+		return nil, err
+	}
+	return times, nil
+}
+
 // Summary compares baseline and interference-aware distributions for one
 // workload (one panel of Figure 13).
 type Summary struct {
@@ -135,6 +149,19 @@ func Compare(workload string, cfg machine.Config, phases []machine.PhaseStats, n
 // bounded worker pool. The summary is byte-identical for any worker count.
 func CompareParallel(workload string, cfg machine.Config, phases []machine.PhaseStats, n int, seed uint64, workers int) Summary {
 	return CompareLimited(workload, cfg, phases, n, seed, pool.NewLimiter(workers))
+}
+
+// CompareContext is CompareLimited gated by ctx: once ctx is done no
+// further Monte-Carlo run starts, and the call returns ctx.Err() with a
+// zero Summary. The uncancelled summary is byte-identical to
+// CompareLimited's for any limiter width.
+func CompareContext(ctx context.Context, workload string, cfg machine.Config, phases []machine.PhaseStats, n int, seed uint64, l *pool.Limiter) (Summary, error) {
+	cl := l.WithContext(ctx)
+	s := CompareLimited(workload, cfg, phases, n, seed, cl)
+	if err := cl.Err(); err != nil {
+		return Summary{}, err
+	}
+	return s, nil
 }
 
 // CompareLimited is CompareParallel drawing workers from a shared

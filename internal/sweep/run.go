@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -74,6 +75,23 @@ type Runner struct {
 // grid coordinates, results land in index-addressed slots, and the
 // aggregator's reductions are order-independent.
 func (r *Runner) Run(l *pool.Limiter) (*Campaign, error) {
+	return r.RunContext(context.Background(), l)
+}
+
+// RunContext is Run gated by ctx: once ctx is done, no new (cell, workload)
+// task — and no new Monte-Carlo run inside one, since the nested scheduling
+// sweeps draw from the same context-carrying limiter — starts. The call
+// then returns ctx.Err() within one task boundary (in-flight cells finish;
+// none of their results are returned) and leaks no goroutines: the pool
+// workers drain the cancelled claim counter and exit before RunContext
+// returns. An uncancelled RunContext returns the byte-identical campaign
+// Run produces.
+func (r *Runner) RunContext(ctx context.Context, l *pool.Limiter) (*Campaign, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cl := l.WithContext(ctx)
+	l = cl
 	if err := r.Grid.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,6 +166,11 @@ func (r *Runner) Run(l *pool.Limiter) (*Campaign, error) {
 		cell.MeanSpeedup, cell.P75Reduction = sum.MeanSpeedup, sum.P75Reduction
 		ag.add(i, cell)
 	})
+	if err := cl.Err(); err != nil {
+		// Abandoned mid-campaign: the slots for unstarted cells are zero,
+		// so no partial campaign is returned.
+		return nil, err
+	}
 
 	c := &Campaign{
 		Grid:   r.Grid,

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -26,7 +27,14 @@ import (
 // so the two artifacts and repeated requests share one execution.
 // Malformed axes or formats are a 400; grid/run errors (e.g. an unknown
 // platform) are a 404, like the artifact handler's.
-func Handler(grid func(platform string) (Grid, error), run func(platform string, g Grid) (*Campaign, error)) http.Handler {
+//
+// Deprecated: this is the legacy plain-text-error surface, kept mounted
+// at /sweep as a compatibility alias. New clients should use GET
+// /v1/sweep (internal/api), which shares the versioned API's JSON error
+// envelope and content negotiation.
+// run receives the request's context: a disconnecting client stops the
+// campaign at its next cell boundary instead of pinning the engine.
+func Handler(grid func(platform string) (Grid, error), run func(ctx context.Context, platform string, g Grid) (*Campaign, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		platform := r.URL.Query().Get("platform")
 		g, err := grid(platform)
@@ -67,7 +75,7 @@ func Handler(grid func(platform string) (Grid, error), run func(platform string,
 			return
 		}
 
-		camp, err := run(platform, g)
+		camp, err := run(r.Context(), platform, g)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return

@@ -21,6 +21,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -34,6 +35,31 @@ import (
 // (interconnect generation), "lat" (added link latency in ns), "bw" (link
 // bandwidth scale factor) and "frac" (local capacity fraction).
 var AxisNames = []string{"gen", "lat", "bw", "frac"}
+
+// ErrInvalid marks every request-validation failure of this package —
+// malformed axis declarations, unknown axis names, inadmissible values,
+// oversized grids. Every error returned by ParseAxis, Axis.Validate and
+// Grid.Validate matches errors.Is(err, ErrInvalid), so callers on a
+// request boundary (the HTTP layer, repro.Service.Sweep) classify a
+// client mistake without string matching. This is the single shared
+// validation layer: the library and the HTTP API enforce exactly the same
+// caps because they run exactly the same validator.
+var ErrInvalid = errors.New("sweep: invalid request")
+
+// invalidError is a validation failure: its message is the specific
+// diagnostic, it matches ErrInvalid under errors.Is, and it unwraps to any
+// error the diagnostic was built around (%w verbs work).
+type invalidError struct{ err error }
+
+func (e *invalidError) Error() string        { return e.err.Error() }
+func (e *invalidError) Unwrap() error        { return e.err }
+func (e *invalidError) Is(target error) bool { return target == ErrInvalid }
+
+// invalidf builds a validation error (matching ErrInvalid) with the given
+// diagnostic; %w wraps like fmt.Errorf.
+func invalidf(format string, args ...any) error {
+	return &invalidError{err: fmt.Errorf(format, args...)}
+}
 
 // MaxAxisValues bounds one axis's value count and MaxGridCells bounds a
 // grid's cross-product size. Both are enforced by validation (which every
@@ -73,7 +99,7 @@ type Axis struct {
 func ParseAxis(s string) (Axis, error) {
 	name, spec, ok := strings.Cut(s, "=")
 	if !ok || name == "" || spec == "" {
-		return Axis{}, fmt.Errorf("sweep: axis %q: want name=v1,v2,... or name=lo:hi:step", s)
+		return Axis{}, invalidf("sweep: axis %q: want name=v1,v2,... or name=lo:hi:step", s)
 	}
 	a := Axis{Name: name}
 	if parts := strings.Split(spec, ":"); len(parts) == 3 {
@@ -81,10 +107,10 @@ func ParseAxis(s string) (Axis, error) {
 		hi, err2 := strconv.ParseFloat(parts[1], 64)
 		step, err3 := strconv.ParseFloat(parts[2], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return Axis{}, fmt.Errorf("sweep: axis %q: malformed lo:hi:step range", s)
+			return Axis{}, invalidf("sweep: axis %q: malformed lo:hi:step range", s)
 		}
 		if step <= 0 || hi < lo {
-			return Axis{}, fmt.Errorf("sweep: axis %q: want lo <= hi and step > 0", s)
+			return Axis{}, invalidf("sweep: axis %q: want lo <= hi and step > 0", s)
 		}
 		// Count the points instead of accumulating lo += step, so binary
 		// floating-point steps (0.25:0.75:0.25) still land on hi exactly.
@@ -92,7 +118,7 @@ func ParseAxis(s string) (Axis, error) {
 		// sits on the HTTP surface.
 		pts := math.Floor((hi-lo)/step + 1e-9)
 		if pts >= MaxAxisValues {
-			return Axis{}, fmt.Errorf("sweep: axis %q: range yields %.0f values (max %d)", s, pts+1, MaxAxisValues)
+			return Axis{}, invalidf("sweep: axis %q: range yields %.0f values (max %d)", s, pts+1, MaxAxisValues)
 		}
 		n := int(pts)
 		for i := 0; i <= n; i++ {
@@ -103,7 +129,7 @@ func ParseAxis(s string) (Axis, error) {
 	for _, p := range strings.Split(spec, ",") {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
-			return Axis{}, fmt.Errorf("sweep: axis %q: bad value %q", s, p)
+			return Axis{}, invalidf("sweep: axis %q: bad value %q", s, p)
 		}
 		a.Values = append(a.Values, v)
 	}
@@ -114,34 +140,34 @@ func ParseAxis(s string) (Axis, error) {
 // that axis.
 func (a Axis) Validate() error {
 	if len(a.Values) == 0 {
-		return fmt.Errorf("sweep: axis %q has no values", a.Name)
+		return invalidf("sweep: axis %q has no values", a.Name)
 	}
 	if len(a.Values) > MaxAxisValues {
-		return fmt.Errorf("sweep: axis %q has %d values (max %d)", a.Name, len(a.Values), MaxAxisValues)
+		return invalidf("sweep: axis %q has %d values (max %d)", a.Name, len(a.Values), MaxAxisValues)
 	}
 	for _, v := range a.Values {
 		switch a.Name {
 		case "gen":
 			if v != 0 {
 				if _, ok := LinkGenerations[int(v)]; !ok || v != math.Trunc(v) {
-					return fmt.Errorf("sweep: axis gen: unknown generation %v (known: 0=base, %s)",
+					return invalidf("sweep: axis gen: unknown generation %v (known: 0=base, %s)",
 						v, generationList())
 				}
 			}
 		case "lat":
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("sweep: axis lat: added latency %v ns must be finite and >= 0", v)
+				return invalidf("sweep: axis lat: added latency %v ns must be finite and >= 0", v)
 			}
 		case "bw":
 			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("sweep: axis bw: bandwidth scale %v must be finite and > 0", v)
+				return invalidf("sweep: axis bw: bandwidth scale %v must be finite and > 0", v)
 			}
 		case "frac":
 			if !(v > 0 && v < 1) {
-				return fmt.Errorf("sweep: axis frac: capacity fraction %v outside (0,1)", v)
+				return invalidf("sweep: axis frac: capacity fraction %v outside (0,1)", v)
 			}
 		default:
-			return fmt.Errorf("sweep: unknown axis %q (known: %s)", a.Name, strings.Join(AxisNames, ", "))
+			return invalidf("sweep: unknown axis %q (known: %s)", a.Name, strings.Join(AxisNames, ", "))
 		}
 	}
 	return nil
@@ -232,7 +258,7 @@ func DefaultGrid(base scenario.Spec) Grid {
 // invalid campaign fails before any cell runs.
 func (g Grid) Validate() error {
 	if err := g.Base.Validate(); err != nil {
-		return fmt.Errorf("sweep: base: %w", err)
+		return invalidf("sweep: base: %w", err)
 	}
 	seen := map[string]bool{}
 	for _, a := range g.Axes {
@@ -240,12 +266,12 @@ func (g Grid) Validate() error {
 			return err
 		}
 		if seen[a.Name] {
-			return fmt.Errorf("sweep: duplicate axis %q", a.Name)
+			return invalidf("sweep: duplicate axis %q", a.Name)
 		}
 		seen[a.Name] = true
 	}
 	if n := g.Size(); n > MaxGridCells {
-		return fmt.Errorf("sweep: grid has %d cells (max %d)", n, MaxGridCells)
+		return invalidf("sweep: grid has %d cells (max %d)", n, MaxGridCells)
 	}
 	pts, err := g.Points()
 	if err != nil {
@@ -253,7 +279,7 @@ func (g Grid) Validate() error {
 	}
 	for _, p := range pts {
 		if err := p.Spec.Validate(); err != nil {
-			return fmt.Errorf("sweep: cell %s: %w", p.Name(), err)
+			return invalidf("sweep: cell %s: %w", p.Name(), err)
 		}
 	}
 	return nil
@@ -361,7 +387,7 @@ func applyAxis(sp scenario.Spec, axis string, v float64) (scenario.Spec, error) 
 		}
 		lg, ok := LinkGenerations[int(v)]
 		if !ok || v != math.Trunc(v) {
-			return sp, fmt.Errorf("sweep: unknown link generation %v", v)
+			return sp, invalidf("sweep: unknown link generation %v", v)
 		}
 		sp.Platform = sp.Platform.WithLink(sp.Platform.Link.
 			WithBandwidth(lg.DataBandwidth, lg.PeakTraffic).
@@ -379,5 +405,5 @@ func applyAxis(sp scenario.Spec, axis string, v float64) (scenario.Spec, error) 
 	case "frac":
 		return sp.WithCapacitySplit(v), nil
 	}
-	return sp, fmt.Errorf("sweep: unknown axis %q (known: %s)", axis, strings.Join(AxisNames, ", "))
+	return sp, invalidf("sweep: unknown axis %q (known: %s)", axis, strings.Join(AxisNames, ", "))
 }

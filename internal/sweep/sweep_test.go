@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -295,10 +296,10 @@ func TestHandler(t *testing.T) {
 			}
 			return quickGrid(), nil
 		},
-		func(platform string, g Grid) (*Campaign, error) {
+		func(ctx context.Context, platform string, g Grid) (*Campaign, error) {
 			campaigns++
 			r := &Runner{Grid: g, Entries: quickEntries(), Runs: 2}
-			return r.Run(nil)
+			return r.RunContext(ctx, nil)
 		})
 	srv := httptest.NewServer(h)
 	defer srv.Close()

@@ -21,6 +21,16 @@
 //
 // # Quick start
 //
+// The unified entry point is the Service facade — one handle owning the
+// worker pool, the per-platform experiment suites, the memoizing artifact
+// store and the sweep-campaign memo, with context-first execution:
+//
+//	svc, err := repro.New(repro.WithWorkers(8))
+//	doc, err := svc.Artifact(ctx, repro.ArtifactRequest{Artifact: "figure9"})
+//	camp, err := svc.Sweep(ctx, grid)   // cancellable mid-campaign
+//
+// The three-level profiling workflow is available directly:
+//
 //	p := repro.NewProfiler(repro.DefaultPlatform())
 //	entry, _ := repro.Workload("XSBench")
 //	l1 := p.Level1(entry, 1)            // intrinsic characteristics
@@ -28,13 +38,13 @@
 //	l3 := p.Level3(entry, 1, 0.5,       // interference sensitivity
 //	    []float64{0, 0.25, 0.5})
 //
-// See the examples/ directory for complete programs.
+// See the examples/ directory for complete programs, and docs/API.md for
+// the versioned HTTP API Service.Handler serves.
 package repro
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -52,6 +62,24 @@ import (
 	"repro/internal/workloads"
 	"repro/internal/workloads/bfs"
 	"repro/internal/workloads/registry"
+)
+
+// Error classification sentinels: every lookup and validation failure the
+// Service (and the /v1 HTTP layer riding on it) produces matches exactly
+// one of these under errors.Is, so callers branch on kind — not on error
+// text.
+var (
+	// ErrUnknownPlatform matches a failed scenario lookup (PlatformNamed,
+	// ArtifactRequest.Platform, ?platform= query).
+	ErrUnknownPlatform = scenario.ErrUnknown
+	// ErrUnknownArtifact matches a failed artifact-id lookup, including a
+	// figure alias used where a canonical id is required.
+	ErrUnknownArtifact = experiments.ErrUnknownID
+	// ErrInvalidSweep matches every sweep-campaign validation failure:
+	// malformed or unknown axes, inadmissible values, oversized grids. The
+	// library (Service.Sweep) and the HTTP layer run the same validator, so
+	// the guardrails are identical on both surfaces.
+	ErrInvalidSweep = sweep.ErrInvalid
 )
 
 // Platform describes the emulated node: memory geometry, cache and
@@ -77,8 +105,9 @@ func DefaultPlatform() Platform { return machine.Default() }
 type Scenario = scenario.Spec
 
 // Platforms returns every registered scenario, the paper's testbed
-// ("baseline") first.
-func Platforms() []Scenario { return scenario.All() }
+// ("baseline") first — a thin wrapper over the default Service's scenario
+// set (Default().Scenarios()).
+func Platforms() []Scenario { return Default().Scenarios() }
 
 // PlatformNamed looks up a scenario by name (e.g. "cxl-gen5").
 func PlatformNamed(name string) (Scenario, error) { return scenario.Get(name) }
@@ -117,8 +146,10 @@ type WorkloadEntry = registry.Entry
 // through named phases.
 type Runnable = workloads.Workload
 
-// Workloads returns the six evaluated applications in the paper's order.
-func Workloads() []WorkloadEntry { return registry.All() }
+// Workloads returns the six evaluated applications in the paper's order —
+// a thin wrapper over the default Service's workload table
+// (Default().Workloads()).
+func Workloads() []WorkloadEntry { return Default().Workloads() }
 
 // Workload looks up an application by name (e.g. "BFS").
 func Workload(name string) (WorkloadEntry, error) { return registry.Get(name) }
@@ -195,6 +226,14 @@ func CompareSchedulers(name string, p Platform, phases []PhaseStats, n int, seed
 // byte-identical to the sequential CompareSchedulers for any worker count.
 func CompareSchedulersParallel(name string, p Platform, phases []PhaseStats, n int, seed uint64, workers int) ScheduleSummary {
 	return sched.CompareParallel(name, p, phases, n, seed, workers)
+}
+
+// CompareSchedulersContext is CompareSchedulersParallel bounded by ctx:
+// once ctx is done no further Monte-Carlo run starts and the call returns
+// ctx.Err(). An uncancelled summary is byte-identical to
+// CompareSchedulersParallel's.
+func CompareSchedulersContext(ctx context.Context, name string, p Platform, phases []PhaseStats, n int, seed uint64, workers int) (ScheduleSummary, error) {
+	return sched.CompareContext(ctx, name, p, phases, n, seed, pool.NewLimiter(workers))
 }
 
 // BFSVariant selects the §7.1 case-study placement strategy for BFS.
@@ -305,8 +344,14 @@ func NewExperiments(p Platform) *ExperimentSuite { return experiments.NewSuite(p
 // validation error instead of silently running at the paper's 50% split.
 func NewExperimentsFor(sc Scenario) *ExperimentSuite { return experiments.NewSuiteFor(sc) }
 
-// ExperimentIDs lists every table/figure id in paper order.
-func ExperimentIDs() []string { return append([]string(nil), experiments.IDs...) }
+// ExperimentIDs lists every table/figure id in paper order — a thin
+// wrapper over the default Service (Default().IDs()).
+func ExperimentIDs() []string { return Default().IDs() }
+
+// CanonicalArtifactID resolves an artifact id or figure alias ("fig9") to
+// its canonical id ("figure9") — the id documents report, stores key on,
+// and /v1 URLs use. Unknown ids match ErrUnknownArtifact.
+func CanonicalArtifactID(id string) (string, error) { return experiments.CanonicalID(id) }
 
 // SweepAxis is one swept dimension of a parameter-sweep campaign: an axis
 // name ("gen" for interconnect generation, "lat" for added link latency in
@@ -348,6 +393,10 @@ func DefaultSweepGrid(base Scenario) SweepGrid { return sweep.DefaultGrid(base) 
 // over a bounded pool of workers (0 or less selects every core). The
 // result is byte-identical for any worker count: each cell owns a
 // deterministic RNG substream derived from its grid coordinates.
+//
+// Deprecated: use Service.Sweep, which memoizes campaigns single-flight
+// per grid, shares the suite's warm profiler caches, and supports
+// cancellation. RunSweep runs each call from scratch.
 func RunSweep(g SweepGrid, workers int) (*SweepCampaign, error) {
 	r := &sweep.Runner{Grid: g}
 	return r.Run(pool.NewLimiter(pool.Workers(workers)))
@@ -375,6 +424,12 @@ const (
 	FormatCSV  = report.FormatCSV
 )
 
+// ParseArtifactFormat resolves a format spelling ("text", "json", "csv";
+// "txt" accepted, case-insensitive) — the parser behind the CLI -format
+// flag and the HTTP ?format= parameter. Failure returns a structured
+// error listing every accepted spelling.
+func ParseArtifactFormat(s string) (ArtifactFormat, error) { return report.ParseFormat(s) }
+
 // RenderText renders a document as plain text, byte-identical to the
 // artifact's historical Render() output.
 func RenderText(d Doc) string { return report.RenderText(d) }
@@ -386,6 +441,11 @@ func RenderJSON(d Doc) (string, error) { return report.RenderJSON(d) }
 // RenderCSV renders a document as sectioned, machine-parseable CSV with
 // raw (unformatted) numeric values.
 func RenderCSV(d Doc) (string, error) { return report.RenderCSV(d) }
+
+// ParseArtifactJSON is the inverse of RenderJSON: it recovers the typed
+// document from its JSON rendering — what a client of the /v1 API decodes
+// responses with.
+func ParseArtifactJSON(s string) (Doc, error) { return report.ParseJSON(s) }
 
 // RenderArtifact renders a document in the given format.
 func RenderArtifact(d Doc, f ArtifactFormat) (string, error) { return report.Render(d, f) }
@@ -404,41 +464,19 @@ func NewArtifactStore(src ArtifactSource) *ArtifactStore { return report.NewStor
 
 // NewExperimentSource adapts the experiment suites to an ArtifactSource:
 // one suite per requested scenario (built with NewExperimentsFor, so each
-// uses its scenario's capacity protocol), documents computed on demand.
-// The returned source is safe for concurrent use, though the store it
-// usually sits behind serializes document computation anyway.
+// uses its scenario's capacity protocol), documents computed on demand
+// through the context-aware engine path. The returned source is safe for
+// concurrent use, though the store it usually sits behind serializes
+// document computation anyway.
 //
 // Only canonical artifact ids (ExperimentIDs) are accepted: an alias like
 // "fig9" errors with a pointer to the canonical id rather than computing
 // and caching a duplicate document under a key that diverges from the
 // document's Artifact field.
+//
+// Deprecated: this is the default Service's source, exposed for callers
+// that assemble their own ArtifactStore. New code should use Service
+// (repro.New), whose store already sits in front of this source.
 func NewExperimentSource() ArtifactSource {
-	var mu sync.Mutex
-	suites := map[string]*ExperimentSuite{}
-	return func(platform, artifact string) (Doc, error) {
-		canon, err := experiments.CanonicalID(artifact)
-		if err != nil {
-			return Doc{}, err
-		}
-		if canon != artifact {
-			return Doc{}, fmt.Errorf("repro: %q is an alias: request %q", artifact, canon)
-		}
-		mu.Lock()
-		s, ok := suites[platform]
-		if !ok {
-			sp, err := scenario.Get(platform)
-			if err != nil {
-				mu.Unlock()
-				return Doc{}, err
-			}
-			s = experiments.NewSuiteFor(sp)
-			suites[platform] = s
-		}
-		mu.Unlock()
-		r, err := s.Run(canon)
-		if err != nil {
-			return Doc{}, err
-		}
-		return r.Report(), nil
-	}
+	return Default().source
 }
