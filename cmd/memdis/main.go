@@ -11,14 +11,25 @@
 //	memdis sweep                      # default parameter-sweep campaign
 //	memdis sweep -axis gen=0,5,6 -axis frac=0.25:0.75:0.25
 //	memdis serve                      # serve the versioned HTTP API
+//	memdis -warm default serve        # same, pre-warming the artifact caches
+//	memdis -runs 5 -workloads HPL all # reduced Monte-Carlo scale
 //	memdis list                       # list experiment ids
 //	memdis platforms                  # list platform scenarios
 //
 // The CLI is a thin shell over repro.Service: every flag maps to a
 // functional option (-j to repro.WithWorkers, -platform to
-// repro.WithDefaultPlatform, the sweep subcommand's -runs and -workloads
-// to repro.WithRuns and repro.WithWorkloads), and every subcommand calls a
-// context-first Service method.
+// repro.WithDefaultPlatform, -runs and -workloads to repro.WithRuns and
+// repro.WithWorkloads, -warm to repro.WithWarm), and every subcommand
+// calls a context-first Service method.
+//
+// The -warm flag (serve only) drives the startup cache warm: the listed
+// scenarios ("default" = the -platform scenario) are computed and
+// rendered in the background while the server already answers requests,
+// and /healthz flips its "ready" field once the warm completes — the
+// readiness signal a load balancer keys on. The serving layer itself adds
+// strong ETags with If-None-Match 304s, Cache-Control, gzip negotiation
+// and request coalescing on every artifact route; `sbench` (cmd/sbench)
+// is the companion load harness that measures it.
 //
 // The -j flag bounds the worker pool for both the experiment-level and the
 // intra-driver fan-out. Output is byte-identical for any -j value: every
@@ -74,6 +85,9 @@ func run(args []string) error {
 	format := fs.String("format", "text", "stdout renderer: text, json or csv")
 	outDir := fs.String("out", "", "also write each artifact as <id>.txt|.json|.csv into this directory")
 	addr := fs.String("addr", "localhost:8080", "listen address for `memdis serve`")
+	runs := fs.Int("runs", 0, "Monte-Carlo scheduler runs per comparison (0 = the paper's 100)")
+	workloadList := fs.String("workloads", "", "comma-separated workload subset (default: all six)")
+	warm := fs.String("warm", "", "`memdis serve` startup cache warm: comma-separated scenarios, or \"default\" for the -platform scenario")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -96,6 +110,29 @@ func run(args []string) error {
 	opts := []repro.Option{
 		repro.WithWorkers(*workers),
 		repro.WithDefaultPlatform(*platform),
+	}
+	if *runs > 0 {
+		opts = append(opts, repro.WithRuns(*runs))
+	}
+	if *workloadList != "" {
+		entries, err := parseWorkloads(*workloadList)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, repro.WithWorkloads(entries...))
+	}
+	if *warm != "" {
+		if args[0] != "serve" {
+			return fmt.Errorf("-warm only applies to `memdis serve`")
+		}
+		var warmPlatforms []string
+		if *warm != "default" {
+			warmPlatforms = strings.Split(*warm, ",")
+			for i := range warmPlatforms {
+				warmPlatforms[i] = strings.TrimSpace(warmPlatforms[i])
+			}
+		}
+		opts = append(opts, repro.WithWarm(warmPlatforms...))
 	}
 	ctx := context.Background()
 	// The sweep subcommand builds its own service carrying the -runs and
@@ -121,6 +158,18 @@ func run(args []string) error {
 	case "serve":
 		if len(args) > 1 {
 			return fmt.Errorf("unexpected arguments after \"serve\": %v (flags go before the subcommand: memdis -addr HOST:PORT serve)", args[1:])
+		}
+		if *warm != "" {
+			done := svc.StartWarm(ctx)
+			fmt.Fprintf(os.Stderr, "memdis: warming caches for %s in the background (/healthz reports readiness)\n", *warm)
+			go func() {
+				<-done
+				if err := svc.WarmErr(); err != nil {
+					fmt.Fprintf(os.Stderr, "memdis: cache warm failed: %v\n", err)
+					return
+				}
+				fmt.Fprintln(os.Stderr, "memdis: cache warm complete, server ready")
+			}()
 		}
 		fmt.Fprintf(os.Stderr, "memdis: serving the /v1 API on http://%s/ (default platform %s)\n", *addr, *platform)
 		return http.ListenAndServe(*addr, svc.Handler())
@@ -182,13 +231,9 @@ func runSweep(ctx context.Context, args []string, opts []repro.Option, platform 
 		opts = append(opts, repro.WithRuns(*runs))
 	}
 	if *workloadList != "" {
-		var entries []repro.WorkloadEntry
-		for _, name := range strings.Split(*workloadList, ",") {
-			e, err := repro.Workload(strings.TrimSpace(name))
-			if err != nil {
-				return err
-			}
-			entries = append(entries, e)
+		entries, err := parseWorkloads(*workloadList)
+		if err != nil {
+			return err
 		}
 		opts = append(opts, repro.WithWorkloads(entries...))
 	}
@@ -207,6 +252,21 @@ func runSweep(ctx context.Context, args []string, opts []repro.Option, platform 
 	svc.Store().Put(platform, camp.Sweep())
 	svc.Store().Put(platform, camp.Sensitivity())
 	return emit(ctx, svc, platform, []string{"sweep", "sensitivity"}, f, outDir, false)
+}
+
+// parseWorkloads resolves a comma-separated workload-name list against the
+// registry — shared by the global -workloads flag and the sweep
+// subcommand's local one.
+func parseWorkloads(list string) ([]repro.WorkloadEntry, error) {
+	var entries []repro.WorkloadEntry
+	for _, name := range strings.Split(list, ",") {
+		e, err := repro.Workload(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
 }
 
 // emit prints each artifact in the chosen format (with the historical

@@ -1,0 +1,91 @@
+// Command sbench is the HTTP load harness of the serving layer: it
+// hammers a (warmed) `memdis serve` across routes, formats and encodings,
+// measures p50/p90/p99 latency and throughput per target, brackets the run
+// with the server's /v1/stats counters (renders, coalesced joins, 304s,
+// gzipped bodies), and writes one JSON result — the file BENCH_serve.json
+// commits so the serving-performance trajectory is tracked across PRs.
+//
+//	sbench -base http://localhost:8080 -n 200 -c 16 -out BENCH_serve.json
+//	sbench -wait-ready 10m -cold '/v1/artifacts/figure13?platform=cxl-gen5'
+//
+// The default profile exercises hot artifact renders in every format, a
+// gzip-negotiated variant, conditional (If-None-Match) revalidations, the
+// registry tables and the memoized default sweep; each -cold PATH adds a
+// single-wave burst of -c concurrent requests at that (presumably
+// uncached) key, which is what drives the server's request coalescing.
+// -wait-ready polls /healthz until the warm finishes before measuring.
+//
+// See docs/CLI.md for the complete flag reference.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sbench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sbench", flag.ContinueOnError)
+	base := fs.String("base", "http://localhost:8080", "base URL of the server under test")
+	n := fs.Int("n", 200, "requests per target")
+	c := fs.Int("c", 16, "concurrent workers per target (and cold-burst wave size)")
+	out := fs.String("out", "", "write the JSON result to this file (default: stdout)")
+	waitReady := fs.Duration("wait-ready", 0, "poll /healthz until ready for up to this long before measuring (0 = don't wait)")
+	var cold []string
+	fs.Func("cold", "path for a single-wave cold burst (repeatable), e.g. /v1/artifacts/figure13?platform=cxl-gen5", func(s string) error {
+		cold = append(cold, s)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", rest)
+	}
+	ctx := context.Background()
+	if *waitReady > 0 {
+		wctx, cancel := context.WithTimeout(ctx, *waitReady)
+		err := sbench.WaitReady(wctx, nil, *base)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	res, err := sbench.Run(ctx, sbench.Config{
+		Base:    *base,
+		Targets: sbench.DefaultProfile(*n, *c, cold),
+	})
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sbench: %d requests, %.1f req/s overall, p99 %.2f ms; wrote %s\n",
+		res.Total.Requests, res.Total.Throughput, res.Total.Latency.P99, *out)
+	return nil
+}

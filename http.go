@@ -41,14 +41,17 @@ func (b serviceBackend) DefaultPlatform() string     { return b.s.DefaultPlatfor
 
 // Handler returns the Service's HTTP surface — what `memdis serve`
 // mounts: the versioned /v1 API (GET /v1/artifacts/{id}, /v1/platforms,
-// /v1/workloads, /v1/sweep and GET /healthz) with one shared JSON error
-// envelope, Accept-header plus ?format= content negotiation, and a
-// middleware chain (request logging via WithLogger, panic recovery, the
-// shared request-validation layer), plus the pre-/v1 paths ("/",
-// /artifacts/..., /sweep) mounted as deprecated aliases answering exactly
-// as before with Deprecation headers added. Artifact computation is
-// bounded by each request's context: a disconnecting client stops the
-// engine at its next task boundary.
+// /v1/workloads, /v1/sweep, GET /healthz and GET /v1/stats) with one
+// shared JSON error envelope, Accept-header plus ?format= content
+// negotiation, and a middleware chain (request logging via WithLogger,
+// panic recovery, conditional requests with strong ETags and
+// If-None-Match 304s, Accept-Encoding gzip, single-flight coalescing of
+// concurrent cache-miss renders), plus the pre-/v1 paths ("/",
+// /artifacts/..., /sweep) mounted as deprecated aliases behind the same
+// caching middleware with Deprecation headers added. /healthz reports the
+// WithWarm readiness state. Artifact computation is bounded by each
+// request's context, but a coalesced render survives until its last
+// waiting client disconnects.
 func (s *Service) Handler() http.Handler {
 	logger := s.logger
 	if !s.loggerSet {
@@ -66,6 +69,7 @@ func (s *Service) Handler() http.Handler {
 	return api.New(api.Config{
 		Backend:         serviceBackend{s: s},
 		Logger:          logger,
+		Ready:           s.Ready,
 		LegacyArtifacts: s.store.Handler(experiments.IDs, s.defaultPlatform),
 		LegacySweep:     legacySweep,
 	})

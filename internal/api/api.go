@@ -1,14 +1,16 @@
 // Package api is the versioned HTTP surface of the reproduction service:
-// one mux, one JSON error envelope, one content-negotiation rule and one
-// middleware chain (request logging, panic recovery, shared request
-// validation) over every route — replacing the two bespoke pre-/v1
-// handlers (the artifact store's and the sweep endpoint's), which stay
-// mounted as deprecated aliases.
+// one mux, one JSON error envelope, one content-negotiation rule, one
+// caching policy and one middleware chain (request logging, panic
+// recovery, conditional requests, gzip, request coalescing) over every
+// route — replacing the two bespoke pre-/v1 handlers (the artifact
+// store's and the sweep endpoint's), which stay mounted as deprecated
+// aliases behind the same caching middleware.
 //
 // Routes (all GET):
 //
-//	/healthz                   liveness: {"status":"ok"}
+//	/healthz                   liveness + readiness: {"status":"ok","ready":true}
 //	/v1                        index: artifact ids, platforms, formats, routes
+//	/v1/stats                  serving counters (renders, coalesced, 304s, ...)
 //	/v1/artifacts              artifact index
 //	/v1/artifacts/{id}         one artifact (canonical ids only)
 //	/v1/platforms              the scenario table
@@ -19,6 +21,14 @@
 // its representation from ?format= (text, json, csv — txt accepted,
 // case-insensitive) or, absent that, the Accept header (application/json,
 // text/csv, text/plain; unrecognized types fall back to text).
+//
+// Serving semantics: documents are immutable per (platform, artifact,
+// seed, code version), so every successful data response carries a strong
+// ETag (SHA-256 of the rendered bytes), Cache-Control: public and
+// Vary: Accept, Accept-Encoding; If-None-Match revalidations are an
+// empty-body 304, gzip is negotiated via Accept-Encoding, and N
+// concurrent cache-miss requests for one (platform, artifact, format)
+// coalesce into a single render. Error envelopes are never cacheable.
 //
 // Errors — unknown artifact or platform (404), alias ids (404, pointing
 // at the canonical id), malformed formats or axes and oversized grids
@@ -75,66 +85,103 @@ type Config struct {
 	// Logger receives one request-log line per request; nil disables
 	// request logging.
 	Logger *log.Logger
+	// Ready reports whether the backend has finished its startup cache
+	// warm; nil means always ready. /healthz serves it so orchestrators
+	// can distinguish a live pod from one still recomputing its caches.
+	Ready func() bool
+	// Metrics receives the serving counters; nil allocates a private set.
+	// Served as a snapshot on GET /v1/stats either way.
+	Metrics *Metrics
 	// LegacyArtifacts and LegacySweep, when set, are mounted at the
 	// pre-/v1 paths ("/" with its /artifacts/ subtree, and "/sweep") as
 	// deprecated aliases: same behavior, plus Deprecation/Link headers
-	// pointing successors out.
+	// pointing successors out, behind the same conditional-request and
+	// gzip middleware as the /v1 routes.
 	LegacyArtifacts http.Handler
 	LegacySweep     http.Handler
 }
 
+// server is the built API: the configuration plus the shared serving
+// state every handler needs — the counter set and the render-coalescing
+// flight group.
+type server struct {
+	cfg     Config
+	metrics *Metrics
+	flights *flightGroup
+}
+
 // New builds the versioned API handler: the /v1 routes and /healthz behind
 // the middleware chain, with the legacy aliases (when configured) mounted
-// beneath them.
+// beneath them. Data routes — /v1 and legacy alike — sit behind the
+// conditional-request/gzip middleware; /healthz, the indexes and /v1/stats
+// stay uncacheable.
 func New(c Config) http.Handler {
+	m := c.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	s := &server{cfg: c, metrics: m, flights: newFlightGroup(m)}
 	mux := http.NewServeMux()
-	mux.Handle("/healthz", get(handleHealthz))
-	mux.Handle("/v1", get(c.handleIndex))
+	mux.Handle("/healthz", get(s.handleHealthz))
+	mux.Handle("/v1", get(s.handleIndex))
 	mux.Handle("/v1/", get(func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNoRoute(r.URL.Path))
 	}))
-	mux.Handle("/v1/artifacts", get(c.handleArtifactIndex))
-	mux.Handle("/v1/artifacts/{id}", get(c.handleArtifact))
-	mux.Handle("/v1/platforms", get(c.handlePlatforms))
-	mux.Handle("/v1/workloads", get(c.handleWorkloads))
-	mux.Handle("/v1/sweep", get(c.handleSweep))
+	mux.Handle("/v1/stats", get(s.handleStats))
+	mux.Handle("/v1/artifacts", get(s.handleArtifactIndex))
+	mux.Handle("/v1/artifacts/{id}", cacheable(m, get(s.handleArtifact)))
+	mux.Handle("/v1/platforms", cacheable(m, get(s.handlePlatforms)))
+	mux.Handle("/v1/workloads", cacheable(m, get(s.handleWorkloads)))
+	mux.Handle("/v1/sweep", cacheable(m, get(s.handleSweep)))
 	if c.LegacyArtifacts != nil {
-		mux.Handle("/", deprecated(c.LegacyArtifacts, "/v1/artifacts"))
+		mux.Handle("/", deprecated(cacheable(m, c.LegacyArtifacts), "/v1/artifacts"))
 	}
 	if c.LegacySweep != nil {
-		mux.Handle("/sweep", deprecated(c.LegacySweep, "/v1/sweep"))
+		mux.Handle("/sweep", deprecated(cacheable(m, c.LegacySweep), "/v1/sweep"))
 	}
-	return logging(c.Logger, recovery(mux))
+	return logging(c.Logger, recovery(counted(m, mux)))
 }
 
-// handleHealthz is the liveness probe: always 200, never touches the
-// experiment engine.
-func handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+// handleHealthz is the health probe: always 200 while the process serves
+// (liveness), with a ready field that flips true once the startup cache
+// warm — when one was requested — has completed (readiness). It never
+// touches the experiment engine.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := s.cfg.Ready == nil || s.cfg.Ready()
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": ready})
+}
+
+// handleStats serves a snapshot of the serving counters — what the sbench
+// harness diffs around a load run.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 // handleIndex describes the API: the served ids and names plus the route
 // shapes, so `curl /v1` is self-documenting.
-func (c Config) handleIndex(w http.ResponseWriter, r *http.Request) {
-	scs := c.Backend.Scenarios()
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	scs := s.cfg.Backend.Scenarios()
 	platforms := make([]string, len(scs))
 	for i, sp := range scs {
 		platforms[i] = sp.Name
 	}
-	ws := c.Backend.Workloads()
+	ws := s.cfg.Backend.Workloads()
 	workloads := make([]string, len(ws))
 	for i, e := range ws {
 		workloads[i] = e.Name
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"artifacts":        c.Backend.IDs(),
+		"artifacts":        s.cfg.Backend.IDs(),
 		"platforms":        platforms,
 		"workloads":        workloads,
 		"formats":          report.AcceptedFormats(),
-		"default_platform": c.Backend.DefaultPlatform(),
+		"default_platform": s.cfg.Backend.DefaultPlatform(),
 		"routes": []string{
 			"GET /healthz",
 			"GET /v1",
+			"GET /v1/stats",
 			"GET /v1/artifacts",
 			"GET /v1/artifacts/{id}?platform=&format=",
 			"GET /v1/platforms?format=",
@@ -146,25 +193,29 @@ func (c Config) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 // handleArtifactIndex lists the artifact ids and the URL shape serving
 // them.
-func (c Config) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleArtifactIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"artifacts":        c.Backend.IDs(),
+		"artifacts":        s.cfg.Backend.IDs(),
 		"url":              "/v1/artifacts/{id}?platform={scenario}&format={text|json|csv}",
-		"default_platform": c.Backend.DefaultPlatform(),
+		"default_platform": s.cfg.Backend.DefaultPlatform(),
 	})
 }
 
 // handleArtifact serves one rendered artifact. Only canonical ids name
 // /v1 resources: a figure alias is a 404 whose message points at the
-// canonical id, so every document is served from exactly one URL.
-func (c Config) handleArtifact(w http.ResponseWriter, r *http.Request) {
+// canonical id, so every document is served from exactly one URL. The
+// render itself goes through the coalescing flight group: concurrent
+// cache-miss requests for one (platform, artifact, format) trigger one
+// backend render, and the computation survives any single client's
+// disconnect as long as another is still waiting.
+func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	f, err := negotiate(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	id := r.PathValue("id")
-	canon, err := c.Backend.CanonicalID(id)
+	canon, err := s.cfg.Backend.CanonicalID(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -173,7 +224,17 @@ func (c Config) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, &experiments.AliasError{Alias: id, Canonical: canon})
 		return
 	}
-	out, err := c.Backend.Rendered(r.Context(), r.URL.Query().Get("platform"), canon, f)
+	platform := r.URL.Query().Get("platform")
+	keyPlatform := platform
+	if keyPlatform == "" {
+		// Normalize the flight key so "" and the explicit default name
+		// coalesce onto one render.
+		keyPlatform = s.cfg.Backend.DefaultPlatform()
+	}
+	key := keyPlatform + "\x00" + canon + "\x00" + string(f)
+	out, err := s.flights.Do(r.Context(), key, func(ctx context.Context) (string, error) {
+		return s.cfg.Backend.Rendered(ctx, platform, canon, f)
+	})
 	if err != nil {
 		writeStatusError(w, err)
 		return
@@ -182,17 +243,17 @@ func (c Config) handleArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePlatforms serves the scenario table as a negotiated document.
-func (c Config) handlePlatforms(w http.ResponseWriter, r *http.Request) {
-	c.serveDoc(w, r, platformsDoc(c.Backend.Scenarios()))
+func (s *server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	s.serveDoc(w, r, platformsDoc(s.cfg.Backend.Scenarios()))
 }
 
 // handleWorkloads serves the workload table as a negotiated document.
-func (c Config) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	c.serveDoc(w, r, workloadsDoc(c.Backend.Workloads()))
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.serveDoc(w, r, workloadsDoc(s.cfg.Backend.Workloads()))
 }
 
 // serveDoc renders a registry document in the negotiated format.
-func (c Config) serveDoc(w http.ResponseWriter, r *http.Request, d report.Doc) {
+func (s *server) serveDoc(w http.ResponseWriter, r *http.Request, d report.Doc) {
 	f, err := negotiate(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -211,7 +272,7 @@ func (c Config) serveDoc(w http.ResponseWriter, r *http.Request, d report.Doc) {
 // artifact= picks the "sweep" (default) or "sensitivity" view. Validation
 // is the shared sweep validator — the same caps the library's
 // Service.Sweep enforces — surfacing as 400s.
-func (c Config) handleSweep(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	f, err := negotiate(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -228,20 +289,20 @@ func (c Config) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	platform := r.URL.Query().Get("platform")
 	var axes []sweep.Axis
-	for _, s := range r.URL.Query()["axis"] {
-		a, err := sweep.ParseAxis(s)
+	for _, a := range r.URL.Query()["axis"] {
+		ax, err := sweep.ParseAxis(a)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		axes = append(axes, a)
+		axes = append(axes, ax)
 	}
-	g, err := c.Backend.Grid(platform, axes...)
+	g, err := s.cfg.Backend.Grid(platform, axes...)
 	if err != nil {
 		writeStatusError(w, err)
 		return
 	}
-	camp, err := c.Backend.Sweep(r.Context(), g)
+	camp, err := s.cfg.Backend.Sweep(r.Context(), g)
 	if err != nil {
 		writeStatusError(w, err)
 		return
@@ -257,7 +318,7 @@ func (c Config) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// ?platform= and matches /v1/platforms (and what the CLI's seeded
 	// store emits for the same campaign).
 	if platform == "" {
-		platform = c.Backend.DefaultPlatform()
+		platform = s.cfg.Backend.DefaultPlatform()
 	}
 	doc.Platform = platform
 	out, err := report.Render(doc, f)

@@ -62,8 +62,11 @@ func writeStatusError(w http.ResponseWriter, err error) {
 
 // writeError writes err in the JSON error envelope. Responses are always
 // JSON regardless of the request's negotiated format: clients get one
-// machine-parseable error shape everywhere.
+// machine-parseable error shape everywhere — and never a cache validator:
+// errors are transient (a cancelled computation, a typo'd query), so a
+// cached 404 must not shadow a later success.
 func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Cache-Control", "no-store")
 	detail := ErrorDetail{Status: status, Message: err.Error()}
 	var fe *report.FormatError
 	if errors.As(err, &fe) {

@@ -1,0 +1,387 @@
+// Package sbench is the HTTP load harness of the serving layer — the
+// cmd/lbench of `memdis serve`. It hammers a (warmed) server across
+// routes, formats and encodings with a bounded worker pool per target,
+// measures per-request latency, and snapshots the server's /v1/stats
+// counters around the run so cache behavior (renders, coalesced joins,
+// 304s, gzipped bodies) is part of the result, not a guess. cmd/sbench
+// drives it and writes the JSON that BENCH_serve.json commits.
+//
+// Three request shapes per target: plain GETs, gzip-negotiated GETs
+// (Accept-Encoding: gzip, body counted compressed), and conditional GETs
+// (one priming request captures the ETag, the measured requests carry
+// If-None-Match and are expected to come back 304). Cold-burst targets
+// fire their whole request count concurrently at an uncached key to
+// exercise the server's request coalescing.
+package sbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Target is one benchmarked request shape: a path plus the headers that
+// select its representation, fired Requests times from Concurrency
+// workers.
+type Target struct {
+	// Name labels the target in the result.
+	Name string `json:"name"`
+	// Path is the request path (plus query) relative to the base URL.
+	Path string `json:"path"`
+	// Accept, when set, is sent as the Accept header.
+	Accept string `json:"accept,omitempty"`
+	// Gzip sends Accept-Encoding: gzip; bytes are counted compressed.
+	Gzip bool `json:"gzip,omitempty"`
+	// Conditional primes one request to capture the ETag, then sends
+	// If-None-Match on every measured request (expecting 304s).
+	Conditional bool `json:"conditional,omitempty"`
+	// Requests is the measured request count.
+	Requests int `json:"requests"`
+	// Concurrency is the worker count draining the request budget.
+	Concurrency int `json:"concurrency"`
+}
+
+// Latency is a latency distribution in milliseconds.
+type Latency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// TargetResult is one target's measurement.
+type TargetResult struct {
+	Target
+	// Errors counts transport failures and unexpected (>=500) statuses.
+	Errors int `json:"errors"`
+	// Status histograms the response codes ("200", "304", ...).
+	Status map[string]int `json:"status"`
+	// Bytes is the total body bytes read (compressed bytes for gzip).
+	Bytes int64 `json:"bytes"`
+	// ETag is the validator the conditional priming request captured.
+	ETag string `json:"etag,omitempty"`
+	// Latency is the per-request latency distribution.
+	Latency Latency `json:"latency_ms"`
+	// Throughput is completed requests per second of target wall time.
+	Throughput float64 `json:"throughput_rps"`
+
+	// samples carries the raw latencies to the run-wide aggregation;
+	// unexported, so it never serializes.
+	samples []float64
+}
+
+// Totals aggregates the whole run.
+type Totals struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Seconds    float64 `json:"duration_s"`
+	Throughput float64 `json:"throughput_rps"`
+	Latency    Latency `json:"latency_ms"`
+}
+
+// ServerCounters is the /v1/stats snapshot pair bracketing the run, plus
+// their difference — the run's own cache behavior.
+type ServerCounters struct {
+	Before map[string]int64 `json:"before,omitempty"`
+	After  map[string]int64 `json:"after,omitempty"`
+	Delta  map[string]int64 `json:"delta,omitempty"`
+}
+
+// Result is the harness output — what BENCH_serve.json holds.
+type Result struct {
+	Schema  string         `json:"schema"`
+	Base    string         `json:"base"`
+	Targets []TargetResult `json:"targets"`
+	Total   Totals         `json:"total"`
+	Server  ServerCounters `json:"server"`
+}
+
+// Config configures a run.
+type Config struct {
+	// Base is the server's base URL, e.g. http://localhost:8080.
+	Base string
+	// Targets run sequentially, each with its own worker pool.
+	Targets []Target
+	// Client defaults to a fresh http.Client (request lifetimes are
+	// bounded by the run's ctx).
+	Client *http.Client
+}
+
+// Schema is the Result.Schema value this package writes.
+const Schema = "sbench/v1"
+
+// Run executes every target in order and returns the aggregated result.
+// The /v1/stats snapshots are best-effort: a server without the route
+// leaves Server empty rather than failing the run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	res := &Result{Schema: Schema, Base: cfg.Base}
+	res.Server.Before = fetchStats(ctx, client, cfg.Base)
+	var all []float64
+	start := time.Now()
+	for _, t := range cfg.Targets {
+		tr, err := runTarget(ctx, client, cfg.Base, t)
+		if err != nil {
+			return nil, fmt.Errorf("sbench: target %s: %w", t.Name, err)
+		}
+		res.Targets = append(res.Targets, *tr)
+		res.Total.Requests += t.Requests
+		res.Total.Errors += tr.Errors
+		all = append(all, tr.samples...)
+	}
+	res.Total.Seconds = time.Since(start).Seconds()
+	if res.Total.Seconds > 0 {
+		res.Total.Throughput = float64(res.Total.Requests) / res.Total.Seconds
+	}
+	res.Total.Latency = quantiles(all)
+	res.Server.After = fetchStats(ctx, client, cfg.Base)
+	res.Server.Delta = delta(res.Server.Before, res.Server.After)
+	return res, nil
+}
+
+// runTarget fires one target's request budget through its worker pool.
+func runTarget(ctx context.Context, client *http.Client, base string, t Target) (*TargetResult, error) {
+	if t.Requests <= 0 {
+		return nil, fmt.Errorf("no requests configured")
+	}
+	if t.Concurrency <= 0 {
+		t.Concurrency = 1
+	}
+	tr := &TargetResult{Target: t, Status: map[string]int{}}
+	if t.Conditional {
+		etag, err := primeETag(ctx, client, base, t)
+		if err != nil {
+			return nil, err
+		}
+		tr.ETag = etag
+	}
+	type sample struct {
+		ms     float64
+		status int
+		bytes  int64
+		err    error
+	}
+	jobs := make(chan struct{}, t.Requests)
+	for i := 0; i < t.Requests; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	out := make(chan sample, t.Requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < t.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				s0 := time.Now()
+				status, n, err := doRequest(ctx, client, base, t, tr.ETag)
+				out <- sample{ms: float64(time.Since(s0).Microseconds()) / 1e3, status: status, bytes: n, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(out)
+	samples := make([]float64, 0, t.Requests)
+	for s := range out {
+		if s.err != nil || s.status >= 500 {
+			tr.Errors++
+		}
+		if s.status > 0 {
+			tr.Status[fmt.Sprint(s.status)]++
+		}
+		tr.Bytes += s.bytes
+		samples = append(samples, s.ms)
+	}
+	tr.Latency = quantiles(samples)
+	if elapsed > 0 {
+		tr.Throughput = float64(t.Requests) / elapsed
+	}
+	tr.samples = samples
+	return tr, nil
+}
+
+// doRequest performs one measured request and returns status and body
+// bytes read.
+func doRequest(ctx context.Context, client *http.Client, base string, t Target, etag string) (int, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+t.Path, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if t.Accept != "" {
+		req.Header.Set("Accept", t.Accept)
+	}
+	if t.Gzip {
+		// Explicit negotiation: the transport then hands back the raw
+		// compressed body, which is what we count.
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, n, err
+}
+
+// primeETag captures the validator a conditional target revalidates with.
+func primeETag(ctx context.Context, client *http.Client, base string, t Target) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+t.Path, nil)
+	if err != nil {
+		return "", err
+	}
+	if t.Accept != "" {
+		req.Header.Set("Accept", t.Accept)
+	}
+	if t.Gzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		return "", fmt.Errorf("priming GET %s returned no ETag (status %d)", t.Path, resp.StatusCode)
+	}
+	return etag, nil
+}
+
+// fetchStats snapshots /v1/stats; a missing route or decode failure
+// returns nil (the counters are an enrichment, not a requirement).
+func fetchStats(ctx context.Context, client *http.Client, base string) map[string]int64 {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil
+	}
+	return m
+}
+
+// delta subtracts counter snapshots key-wise.
+func delta(before, after map[string]int64) map[string]int64 {
+	if after == nil {
+		return nil
+	}
+	d := map[string]int64{}
+	for k, v := range after {
+		d[k] = v - before[k]
+	}
+	return d
+}
+
+// quantiles computes the latency distribution of a sample set.
+func quantiles(samples []float64) Latency {
+	if len(samples) == 0 {
+		return Latency{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	at := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Latency{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Mean: sum / float64(len(s)),
+		Max:  s[len(s)-1],
+	}
+}
+
+// WaitReady polls /healthz until the server reports ready (the warm
+// completed) or ctx dies. It is how the harness avoids measuring a
+// half-warmed cache.
+func WaitReady(ctx context.Context, client *http.Client, base string) error {
+	if client == nil {
+		client = &http.Client{}
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			var h struct {
+				Status string `json:"status"`
+				Ready  bool   `json:"ready"`
+			}
+			decErr := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if decErr == nil && resp.StatusCode == http.StatusOK && h.Ready {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sbench: server at %s not ready: %w", base, ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// DefaultProfile is the standard route/format/encoding matrix the
+// committed benchmark runs: hot artifact renders in every format, a
+// gzip-negotiated and a conditional variant, the registry tables, the
+// memoized default sweep — each n requests at concurrency c — plus one
+// single-wave cold burst per cold path (c concurrent requests at an
+// uncached key, exercising coalescing).
+func DefaultProfile(n, c int, cold []string) []Target {
+	mk := func(name, path string, mod func(*Target)) Target {
+		t := Target{Name: name, Path: path, Requests: n, Concurrency: c}
+		if mod != nil {
+			mod(&t)
+		}
+		return t
+	}
+	targets := []Target{
+		mk("artifact-text", "/v1/artifacts/figure9", nil),
+		mk("artifact-json", "/v1/artifacts/figure9?format=json", nil),
+		mk("artifact-csv", "/v1/artifacts/table1?format=csv", nil),
+		mk("artifact-json-gzip", "/v1/artifacts/figure9?format=json", func(t *Target) { t.Gzip = true }),
+		mk("artifact-conditional", "/v1/artifacts/figure9?format=json", func(t *Target) { t.Conditional = true }),
+		mk("platforms-json", "/v1/platforms?format=json", nil),
+		mk("workloads-text", "/v1/workloads", nil),
+		mk("sweep-json", "/v1/sweep?format=json", nil),
+		mk("sweep-conditional", "/v1/sweep?format=json", func(t *Target) { t.Conditional = true }),
+	}
+	for i, p := range cold {
+		targets = append(targets, Target{
+			Name:        fmt.Sprintf("cold-burst-%d", i+1),
+			Path:        p,
+			Requests:    c,
+			Concurrency: c,
+		})
+	}
+	return targets
+}

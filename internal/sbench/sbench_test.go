@@ -1,0 +1,259 @@
+package sbench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer is a self-contained stand-in for `memdis serve`: a /healthz
+// that flips ready, a /v1/stats counter pair, and one artifact route
+// honoring ETag revalidation and gzip negotiation — enough surface to
+// exercise every aggregation path without the real engine.
+type fakeServer struct {
+	ready    atomic.Bool
+	requests atomic.Int64
+	modified atomic.Int64 // 304s served
+}
+
+const (
+	fakeBody = "the rendered artifact body\n"
+	fakeETag = `"feedfacecafebeef"`
+)
+
+// gzBody is the real gzip encoding of fakeBody: the fake must serve
+// genuine gzip because Go's default transport negotiates it on plain
+// targets and transparently inflates the response.
+var gzBody = func() []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(fakeBody))
+	zw.Close()
+	return buf.Bytes()
+}()
+
+func (f *fakeServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "ready": f.ready.Load()})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int64{
+			"requests":     f.requests.Load(),
+			"not_modified": f.modified.Load(),
+		})
+	})
+	mux.HandleFunc("/v1/artifacts/figure9", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		w.Header().Set("ETag", fakeETag)
+		if r.Header.Get("If-None-Match") == fakeETag {
+			f.modified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			w.Header().Set("Content-Encoding", "gzip")
+			w.Write(gzBody)
+			return
+		}
+		fmt.Fprint(w, fakeBody)
+	})
+	mux.HandleFunc("/v1/artifacts/broken", func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	return mux
+}
+
+func newFakeServer(t *testing.T) (*httptest.Server, *fakeServer) {
+	t.Helper()
+	f := &fakeServer{}
+	f.ready.Store(true)
+	srv := httptest.NewServer(f.handler())
+	t.Cleanup(srv.Close)
+	return srv, f
+}
+
+// TestRunAggregation drives a three-target run — plain, conditional and
+// erroring — and checks every aggregate the JSON result carries: status
+// histograms, byte counts, latency ordering, totals and the /v1/stats
+// delta bracket.
+func TestRunAggregation(t *testing.T) {
+	srv, _ := newFakeServer(t)
+	res, err := Run(context.Background(), Config{
+		Base: srv.URL,
+		Targets: []Target{
+			{Name: "plain", Path: "/v1/artifacts/figure9", Requests: 10, Concurrency: 4},
+			{Name: "cond", Path: "/v1/artifacts/figure9", Conditional: true, Requests: 6, Concurrency: 2},
+			{Name: "broken", Path: "/v1/artifacts/broken", Requests: 3, Concurrency: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != Schema || res.Base != srv.URL || len(res.Targets) != 3 {
+		t.Fatalf("result frame: schema %q base %q targets %d", res.Schema, res.Base, len(res.Targets))
+	}
+
+	plain := res.Targets[0]
+	if plain.Status["200"] != 10 || plain.Errors != 0 {
+		t.Errorf("plain: status %v errors %d, want 10x200", plain.Status, plain.Errors)
+	}
+	if want := int64(10 * len(fakeBody)); plain.Bytes != want {
+		t.Errorf("plain bytes = %d, want %d", plain.Bytes, want)
+	}
+	l := plain.Latency
+	if l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max || l.Max <= 0 {
+		t.Errorf("latency quantiles out of order: %+v", l)
+	}
+	if plain.Throughput <= 0 {
+		t.Errorf("plain throughput = %v, want > 0", plain.Throughput)
+	}
+
+	cond := res.Targets[1]
+	if cond.ETag != fakeETag {
+		t.Errorf("conditional target primed ETag %q, want %q", cond.ETag, fakeETag)
+	}
+	if cond.Status["304"] != 6 || cond.Bytes != 0 || cond.Errors != 0 {
+		t.Errorf("conditional: status %v bytes %d, want 6 empty 304s", cond.Status, cond.Bytes)
+	}
+
+	broken := res.Targets[2]
+	if broken.Errors != 3 || broken.Status["500"] != 3 {
+		t.Errorf("broken: errors %d status %v, want 3x500 counted as errors", broken.Errors, broken.Status)
+	}
+
+	if res.Total.Requests != 19 || res.Total.Errors != 3 {
+		t.Errorf("totals = %+v, want 19 requests / 3 errors", res.Total)
+	}
+	if res.Total.Throughput <= 0 || res.Total.Seconds <= 0 {
+		t.Errorf("total throughput %v over %vs, want > 0", res.Total.Throughput, res.Total.Seconds)
+	}
+
+	// The stats bracket: 19 measured + 1 priming request, 6 of them 304s.
+	if d := res.Server.Delta; d["requests"] != 20 || d["not_modified"] != 6 {
+		t.Errorf("server delta = %v, want requests 20, not_modified 6", d)
+	}
+	if res.Server.Before == nil || res.Server.After == nil {
+		t.Errorf("missing stats snapshots: %+v", res.Server)
+	}
+}
+
+// TestRunGzipCountsCompressedBytes pins the encoding accounting: a gzip
+// target reads the raw Content-Encoding body, so bytes reflect what would
+// cross the wire.
+func TestRunGzipCountsCompressedBytes(t *testing.T) {
+	srv, _ := newFakeServer(t)
+	res, err := Run(context.Background(), Config{
+		Base: srv.URL,
+		Targets: []Target{
+			{Name: "gz", Path: "/v1/artifacts/figure9", Gzip: true, Requests: 4, Concurrency: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4 * len(gzBody)); res.Targets[0].Bytes != want {
+		t.Errorf("gzip bytes = %d, want %d raw (compressed) bytes", res.Targets[0].Bytes, want)
+	}
+}
+
+// TestRunMissingStatsIsNotFatal checks the enrichment contract: a server
+// without /v1/stats still benchmarks, with the Server section left empty.
+func TestRunMissingStatsIsNotFatal(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "ok") })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		Base:    srv.URL,
+		Targets: []Target{{Name: "x", Path: "/x", Requests: 2, Concurrency: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server.Before != nil || res.Server.Delta != nil {
+		t.Errorf("stats-less server produced counters: %+v", res.Server)
+	}
+	if res.Targets[0].Status["200"] != 2 {
+		t.Errorf("status = %v", res.Targets[0].Status)
+	}
+}
+
+// TestRunConditionalWithoutETagFails: a conditional target against a route
+// serving no validator is a configuration error, not a silent pass.
+func TestRunConditionalWithoutETagFails(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "ok") })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	_, err := Run(context.Background(), Config{
+		Base:    srv.URL,
+		Targets: []Target{{Name: "x", Path: "/x", Conditional: true, Requests: 1}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "no ETag") {
+		t.Fatalf("err = %v, want the missing-validator failure", err)
+	}
+}
+
+// TestWaitReady flips the fake's readiness mid-poll and checks both arms:
+// eventual success, and a clean ctx error against a never-ready server.
+func TestWaitReady(t *testing.T) {
+	srv, f := newFakeServer(t)
+	f.ready.Store(false)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		f.ready.Store(true)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := WaitReady(ctx, nil, srv.URL); err != nil {
+		t.Fatalf("WaitReady never saw the flip: %v", err)
+	}
+
+	f.ready.Store(false)
+	short, cancel2 := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel2()
+	if err := WaitReady(short, nil, srv.URL); err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("err = %v, want the not-ready timeout", err)
+	}
+}
+
+// TestDefaultProfile pins the committed benchmark's shape: the fixed
+// route/format/encoding matrix plus one single-wave burst per cold path.
+func TestDefaultProfile(t *testing.T) {
+	targets := DefaultProfile(100, 8, []string{"/v1/artifacts/figure13?platform=cxl-gen5"})
+	if len(targets) != 10 {
+		t.Fatalf("profile has %d targets, want 9 fixed + 1 cold", len(targets))
+	}
+	var conditional, gzip int
+	for _, tg := range targets[:9] {
+		if tg.Requests != 100 || tg.Concurrency != 8 {
+			t.Errorf("%s: %d req @ %d, want 100 @ 8", tg.Name, tg.Requests, tg.Concurrency)
+		}
+		if tg.Conditional {
+			conditional++
+		}
+		if tg.Gzip {
+			gzip++
+		}
+	}
+	if conditional < 2 || gzip < 1 {
+		t.Errorf("profile has %d conditional / %d gzip targets, want >=2 / >=1", conditional, gzip)
+	}
+	burst := targets[9]
+	if burst.Requests != burst.Concurrency || burst.Requests != 8 {
+		t.Errorf("cold burst = %d req @ %d workers, want one full wave of 8", burst.Requests, burst.Concurrency)
+	}
+	if burst.Name != "cold-burst-1" || !strings.Contains(burst.Path, "figure13") {
+		t.Errorf("cold burst target = %+v", burst)
+	}
+}

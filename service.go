@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/experiments"
 	"repro/internal/pool"
@@ -44,6 +45,15 @@ type Service struct {
 	cache           bool
 	logger          *log.Logger
 	loggerSet       bool
+
+	// warm marks a WithWarm service: it starts not-ready and flips ready
+	// once StartWarm has computed (and rendered) the warm set.
+	warm          bool
+	warmPlatforms []string
+	warmMu        sync.Mutex
+	warmDone      chan struct{}
+	warmErr       error
+	ready         atomic.Bool
 
 	// limiter is the one shared concurrency budget (WithWorkers) every
 	// engine invocation on every suite draws from — concurrent requests
@@ -181,6 +191,15 @@ func New(opts ...Option) (*Service, error) {
 	if _, err := scenario.GetFrom(s.scenarios, s.defaultPlatform); err != nil {
 		return nil, fmt.Errorf("repro: New: default platform: %w", err)
 	}
+	for _, name := range s.warmPlatforms {
+		if _, err := scenario.GetFrom(s.scenarios, name); err != nil {
+			return nil, fmt.Errorf("repro: New: warm platform: %w", err)
+		}
+	}
+	if s.warm && !s.cache {
+		return nil, fmt.Errorf("repro: New: WithWarm requires the artifact cache (WithCache(false) recomputes every request)")
+	}
+	s.ready.Store(!s.warm)
 	s.limiter = pool.NewLimiter(s.workers)
 	s.compute = make(chan struct{}, 1)
 	s.store = NewArtifactStore(s.source)
