@@ -10,6 +10,11 @@
 //	memdis -out artifacts all         # write figureN.txt|.json|.csv files
 //	memdis sweep                      # default parameter-sweep campaign
 //	memdis sweep -axis gen=0,5,6 -axis frac=0.25:0.75:0.25
+//	memdis jobs submit -dir state -axis lat=0:400:50   # campaign as a durable job
+//	memdis jobs status -dir state     # list jobs in the store
+//	memdis jobs resume -dir state ID  # pick a killed job up from its checkpoint
+//	memdis jobs events -dir state -follow ID           # tail the event log
+//	memdis jobs artifact -dir state ID sweep           # a done job's artifact
 //	memdis serve                      # serve the versioned HTTP API
 //	memdis -warm default serve        # same, pre-warming the artifact caches
 //	memdis -runs 5 -workloads HPL all # reduced Monte-Carlo scale
@@ -57,16 +62,28 @@
 // plumbing as the fixed experiments. With no -axis flags the canonical
 // generation x capacity-fraction grid runs — exactly the grid behind
 // `memdis sweep` and `memdis sensitivity` as plain artifact ids.
+//
+// The jobs subcommand runs the same campaigns asynchronously with a
+// durable checkpoint: `memdis jobs submit -dir DIR` streams every finished
+// cell into DIR as it completes, so a run killed mid-campaign — Ctrl-C,
+// crash, SIGKILL — is picked up by `memdis jobs resume`, which replays the
+// checkpointed cells and recomputes only the remainder. Resumed artifacts
+// are byte-identical to an uninterrupted run at any -j. Grids of any
+// validating size are accepted here (and on POST /v1/jobs); only the
+// synchronous sweep surfaces cap the cell count. See docs/CLI.md.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"repro"
 )
@@ -136,9 +153,13 @@ func run(args []string) error {
 	}
 	ctx := context.Background()
 	// The sweep subcommand builds its own service carrying the -runs and
-	// -workloads options; every other subcommand shares this one.
+	// -workloads options; every other subcommand shares this one. The jobs
+	// subcommand dispatches its own verbs over a durable disk store.
 	if args[0] == "sweep" {
 		return runSweep(ctx, args[1:], opts, *platform, f, *outDir)
+	}
+	if args[0] == "jobs" {
+		return runJobs(ctx, args[1:], opts, *platform, f)
 	}
 	svc, err := repro.New(opts...)
 	if err != nil {
@@ -252,6 +273,224 @@ func runSweep(ctx context.Context, args []string, opts []repro.Option, platform 
 	svc.Store().Put(platform, camp.Sweep())
 	svc.Store().Put(platform, camp.Sensitivity())
 	return emit(ctx, svc, platform, []string{"sweep", "sensitivity"}, f, outDir, false)
+}
+
+// runJobs implements the jobs subcommand — asynchronous checkpoint/resume
+// campaigns over a durable disk store:
+//
+//	memdis jobs submit -dir DIR [-axis ...]   # run a campaign as a job
+//	memdis jobs status -dir DIR [ID]          # list jobs, or one record
+//	memdis jobs resume -dir DIR ID            # pick a killed job back up
+//	memdis jobs events -dir DIR [-follow] ID  # print the event log
+//	memdis jobs artifact -dir DIR ID NAME     # a done job's sweep|sensitivity
+//
+// submit and resume wait for the job, streaming event lines to stderr as
+// cells finish, and print the two campaign artifacts on completion; an
+// interrupt (Ctrl-C) cancels at the next cell boundary, keeping the
+// checkpoint so a later resume recomputes only the remainder. The resumed
+// run must use the same -runs/-workloads as the original submit — the
+// declaration is pinned in the record and revalidated.
+func runJobs(ctx context.Context, args []string, opts []repro.Option, platform string, f repro.ArtifactFormat) error {
+	usage := "usage: memdis jobs <submit|status|resume|events|artifact> -dir DIR [flags] [ID] [NAME]"
+	if len(args) == 0 {
+		return errors.New(usage)
+	}
+	verb, args := args[0], args[1:]
+	fs := flag.NewFlagSet("memdis jobs "+verb, flag.ContinueOnError)
+	dir := fs.String("dir", "", "durable job store directory (required)")
+	follow := fs.Bool("follow", false, "events: keep streaming new lines until the job finishes")
+	var axes []repro.SweepAxis
+	fs.Func("axis", "submit: swept axis, name=v1,v2,... or name=lo:hi:step (repeatable)", func(s string) error {
+		a, err := repro.ParseSweepAxis(s)
+		if err != nil {
+			return err
+		}
+		axes = append(axes, a)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("memdis jobs %s: -dir is required (the job store directory checkpoints live in)", verb)
+	}
+	svc, err := repro.New(append(opts, repro.WithJobDir(*dir))...)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	rest := fs.Args()
+	one := func() (string, error) {
+		if len(rest) != 1 {
+			return "", fmt.Errorf("memdis jobs %s: want exactly one job id (%s)", verb, usage)
+		}
+		return rest[0], nil
+	}
+	switch verb {
+	case "submit":
+		if len(rest) > 0 {
+			return fmt.Errorf("unexpected arguments after \"jobs submit\" flags: %v", rest)
+		}
+		g, err := svc.Grid(platform, axes...)
+		if err != nil {
+			return err
+		}
+		rec, err := svc.SubmitSweep(g)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "memdis: job %s: %d tasks over %d grid cells\n", rec.ID, rec.Total, g.Size()+1)
+		return watchJob(ctx, svc, rec.ID, f)
+	case "resume":
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		rec, err := svc.ResumeJob(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "memdis: job %s: resumed at %d/%d tasks\n", rec.ID, rec.Done, rec.Total)
+		return watchJob(ctx, svc, rec.ID, f)
+	case "status":
+		if len(rest) == 0 {
+			recs, err := svc.Jobs()
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				fmt.Printf("%-16s  %-11s  %5d/%-5d  %s\n",
+					rec.ID, rec.State, rec.Done, rec.Total, rec.Created.Format("2006-01-02T15:04:05Z"))
+			}
+			return nil
+		}
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		rec, err := svc.Job(id)
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	case "events":
+		id, err := one()
+		if err != nil {
+			return err
+		}
+		offset := 0
+		for {
+			data, err := svc.JobEvents(id)
+			if err != nil {
+				return err
+			}
+			if len(data) > offset {
+				os.Stdout.Write(data[offset:])
+				offset = len(data)
+			}
+			if !*follow {
+				return nil
+			}
+			rec, err := svc.Job(id)
+			if err != nil {
+				return err
+			}
+			// Interrupted still follows: a sibling process may be appending
+			// to the same store. Ctrl-C stops the tail.
+			if rec.State == repro.JobDone || rec.State == repro.JobFailed || rec.State == repro.JobCancelled {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+	case "artifact":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: memdis jobs artifact -dir DIR ID <sweep|sensitivity>")
+		}
+		out, err := svc.JobArtifact(rest[0], rest[1], f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	default:
+		return fmt.Errorf("unknown jobs verb %q (%s)", verb, usage)
+	}
+}
+
+// watchJob blocks on a submitted or resumed job, tailing its event log to
+// stderr; on completion it prints the campaign's two artifacts to stdout.
+// An interrupt cancels the job at its next cell boundary — the checkpoint
+// stays, so `memdis jobs resume` recomputes only the remainder.
+func watchJob(ctx context.Context, svc *repro.Service, id string, f repro.ArtifactFormat) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	offset := 0
+	tail := func() {
+		if data, err := svc.JobEvents(id); err == nil && len(data) > offset {
+			os.Stderr.Write(data[offset:])
+			offset = len(data)
+		}
+	}
+	for {
+		tail()
+		rec, err := svc.Job(id)
+		if err != nil {
+			return err
+		}
+		switch rec.State {
+		case repro.JobRunning:
+		case repro.JobDone:
+			tail()
+			for _, name := range []string{"sweep", "sensitivity"} {
+				out, err := svc.JobArtifact(id, name, f)
+				if err != nil {
+					return err
+				}
+				if f == repro.FormatText {
+					fmt.Println(out)
+				} else {
+					fmt.Print(out)
+				}
+			}
+			return nil
+		default:
+			tail()
+			return fmt.Errorf("job %s %s at %d/%d tasks (resume with `memdis jobs resume`)%s",
+				id, rec.State, rec.Done, rec.Total, errSuffix(rec.Error))
+		}
+		select {
+		case <-ctx.Done():
+			stop() // restore default signal handling: a second Ctrl-C kills
+			fmt.Fprintf(os.Stderr, "memdis: interrupt — cancelling job %s at the next cell boundary (checkpoint kept)\n", id)
+			rec, err := svc.CancelJob(id)
+			if err != nil {
+				return err
+			}
+			tail()
+			return fmt.Errorf("job %s cancelled at %d/%d tasks (resume with `memdis jobs resume -dir DIR %s`)",
+				id, rec.Done, rec.Total, id)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+func errSuffix(msg string) string {
+	if msg == "" {
+		return ""
+	}
+	return ": " + msg
 }
 
 // parseWorkloads resolves a comma-separated workload-name list against the

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -38,6 +39,16 @@ func (b serviceBackend) Scenarios() []scenario.Spec  { return b.s.Scenarios() }
 func (b serviceBackend) Workloads() []registry.Entry { return b.s.Workloads() }
 func (b serviceBackend) IDs() []string               { return b.s.IDs() }
 func (b serviceBackend) DefaultPlatform() string     { return b.s.DefaultPlatform() }
+
+func (b serviceBackend) SubmitSweep(g sweep.Grid) (jobs.Record, error) { return b.s.SubmitSweep(g) }
+func (b serviceBackend) ResumeJob(id string) (jobs.Record, error)      { return b.s.ResumeJob(id) }
+func (b serviceBackend) Job(id string) (jobs.Record, error)            { return b.s.Job(id) }
+func (b serviceBackend) Jobs() ([]jobs.Record, error)                  { return b.s.Jobs() }
+func (b serviceBackend) CancelJob(id string) (jobs.Record, error)      { return b.s.CancelJob(id) }
+func (b serviceBackend) JobEvents(id string) ([]byte, error)           { return b.s.JobEvents(id) }
+func (b serviceBackend) JobArtifact(id, artifact string, f report.Format) (string, error) {
+	return b.s.JobArtifact(id, artifact, f)
+}
 
 // Handler returns the Service's HTTP surface — what `memdis serve`
 // mounts: the versioned /v1 API (GET /v1/artifacts/{id}, /v1/platforms,
@@ -70,6 +81,7 @@ func (s *Service) Handler() http.Handler {
 		Backend:         serviceBackend{s: s},
 		Logger:          logger,
 		Ready:           s.Ready,
+		WarmErr:         s.WarmErr,
 		LegacyArtifacts: s.store.Handler(experiments.IDs, s.defaultPlatform),
 		LegacySweep:     legacySweep,
 	})

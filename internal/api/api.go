@@ -6,7 +6,7 @@
 // store's and the sweep endpoint's), which stay mounted as deprecated
 // aliases behind the same caching middleware.
 //
-// Routes (all GET):
+// Routes (GET unless noted):
 //
 //	/healthz                   liveness + readiness: {"status":"ok","ready":true}
 //	/v1                        index: artifact ids, platforms, formats, routes
@@ -15,7 +15,15 @@
 //	/v1/artifacts/{id}         one artifact (canonical ids only)
 //	/v1/platforms              the scenario table
 //	/v1/workloads              the workload table
-//	/v1/sweep                  a sweep campaign (axis=, artifact=, platform=)
+//	/v1/sweep                  a synchronous sweep campaign (axis=, artifact=, platform=)
+//	/v1/jobs                   POST submits an async campaign job (202 + Location); GET lists
+//	/v1/jobs/{id}              job status; DELETE cancels (checkpoint survives)
+//	/v1/jobs/{id}/events       the job's JSON-lines progress log (NDJSON)
+//	/v1/jobs/{id}/artifacts/{artifact}  a done job's rendered sweep|sensitivity
+//
+// The synchronous /v1/sweep route caps grids at sweep.MaxSyncGridCells;
+// larger campaigns go through POST /v1/jobs, which streams progress into a
+// persistent checkpoint and survives restarts (see the jobs package).
 //
 // Every data route accepts ?platform= (default: the backend's) and picks
 // its representation from ?format= (text, json, csv — txt accepted,
@@ -49,6 +57,7 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -76,6 +85,20 @@ type Backend interface {
 	IDs() []string
 	// DefaultPlatform is the scenario an absent ?platform= resolves to.
 	DefaultPlatform() string
+
+	// SubmitSweep starts (or re-attaches to) the asynchronous campaign
+	// job for a grid; ResumeJob restarts one from its checkpoint. Job,
+	// Jobs and CancelJob are the status surfaces; unknown ids match
+	// jobs.ErrNotFound for the envelope's 404 mapping.
+	SubmitSweep(g sweep.Grid) (jobs.Record, error)
+	ResumeJob(id string) (jobs.Record, error)
+	Job(id string) (jobs.Record, error)
+	Jobs() ([]jobs.Record, error)
+	CancelJob(id string) (jobs.Record, error)
+	// JobEvents returns a job's raw JSON-lines event log; JobArtifact a
+	// done job's rendered artifact (jobs.ErrNotDone → 409 before then).
+	JobEvents(id string) ([]byte, error)
+	JobArtifact(id, artifact string, f report.Format) (string, error)
 }
 
 // Config wires a Backend into the HTTP surface.
@@ -89,6 +112,11 @@ type Config struct {
 	// warm; nil means always ready. /healthz serves it so orchestrators
 	// can distinguish a live pod from one still recomputing its caches.
 	Ready func() bool
+	// WarmErr reports why the last startup warm failed (nil while
+	// in-flight or after success); nil disables the field. /healthz
+	// surfaces it as "warm_error" so a stuck not-ready pod is diagnosable
+	// from the probe alone.
+	WarmErr func() error
 	// Metrics receives the serving counters; nil allocates a private set.
 	// Served as a snapshot on GET /v1/stats either way.
 	Metrics *Metrics
@@ -133,6 +161,16 @@ func New(c Config) http.Handler {
 	mux.Handle("/v1/platforms", cacheable(m, get(s.handlePlatforms)))
 	mux.Handle("/v1/workloads", cacheable(m, get(s.handleWorkloads)))
 	mux.Handle("/v1/sweep", cacheable(m, get(s.handleSweep)))
+	mux.Handle("/v1/jobs", methods(map[string]http.HandlerFunc{
+		http.MethodGet:  s.handleJobs,
+		http.MethodPost: s.handleJobSubmit,
+	}))
+	mux.Handle("/v1/jobs/{id}", methods(map[string]http.HandlerFunc{
+		http.MethodGet:    s.handleJob,
+		http.MethodDelete: s.handleJobCancel,
+	}))
+	mux.Handle("/v1/jobs/{id}/events", get(s.handleJobEvents))
+	mux.Handle("/v1/jobs/{id}/artifacts/{artifact}", cacheable(m, get(s.handleJobArtifact)))
 	if c.LegacyArtifacts != nil {
 		mux.Handle("/", deprecated(cacheable(m, c.LegacyArtifacts), "/v1/artifacts"))
 	}
@@ -149,7 +187,16 @@ func New(c Config) http.Handler {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ready := s.cfg.Ready == nil || s.cfg.Ready()
 	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "ready": ready})
+	body := map[string]any{"status": "ok", "ready": ready}
+	if s.cfg.WarmErr != nil {
+		if err := s.cfg.WarmErr(); err != nil {
+			// A failed warm leaves the pod live but not ready; surfacing
+			// the diagnostic here makes that state debuggable from the
+			// probe alone (the response stays no-store either way).
+			body["warm_error"] = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleStats serves a snapshot of the serving counters — what the sbench
@@ -187,6 +234,12 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"GET /v1/platforms?format=",
 			"GET /v1/workloads?format=",
 			"GET /v1/sweep?axis=&artifact=sweep|sensitivity&platform=&format=",
+			"POST /v1/jobs",
+			"GET /v1/jobs",
+			"GET /v1/jobs/{id}",
+			"DELETE /v1/jobs/{id}",
+			"GET /v1/jobs/{id}/events",
+			"GET /v1/jobs/{id}/artifacts/{artifact}?format=",
 		},
 	})
 }
@@ -302,26 +355,40 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeStatusError(w, err)
 		return
 	}
-	camp, err := s.cfg.Backend.Sweep(r.Context(), g)
-	if err != nil {
-		writeStatusError(w, err)
+	// The synchronous boundary: a request-lifetime campaign is capped;
+	// bigger grids validate fine but belong on the job surface.
+	if err := sweep.CheckSyncSize(g); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var doc report.Doc
-	if artifact == "sensitivity" {
-		doc = camp.Sensitivity()
-	} else {
-		doc = camp.Sweep()
-	}
-	// Stamp the *scenario* name the request resolved to — not the grid's
-	// machine-config name — so the platform field round-trips through
-	// ?platform= and matches /v1/platforms (and what the CLI's seeded
-	// store emits for the same campaign).
+	// Normalize the platform before keying: "" and the explicit default
+	// name must coalesce onto one execution.
 	if platform == "" {
 		platform = s.cfg.Backend.DefaultPlatform()
 	}
-	doc.Platform = platform
-	out, err := report.Render(doc, f)
+	// Coalesce concurrent requests on the *canonical* grid (g.Key()
+	// normalizes axis declarations — a range spelling and its expanded
+	// value list key identically), so N cache-miss queries for one
+	// campaign view trigger one execution and one render.
+	key := "sweep\x00" + platform + "\x00" + g.Key() + "\x00" + artifact + "\x00" + string(f)
+	out, err := s.flights.Do(r.Context(), key, func(ctx context.Context) (string, error) {
+		camp, err := s.cfg.Backend.Sweep(ctx, g)
+		if err != nil {
+			return "", err
+		}
+		var doc report.Doc
+		if artifact == "sensitivity" {
+			doc = camp.Sensitivity()
+		} else {
+			doc = camp.Sweep()
+		}
+		// Stamp the *scenario* name the request resolved to — not the
+		// grid's machine-config name — so the platform field round-trips
+		// through ?platform= and matches /v1/platforms (and what the
+		// CLI's seeded store emits for the same campaign).
+		doc.Platform = platform
+		return report.Render(doc, f)
+	})
 	if err != nil {
 		writeStatusError(w, err)
 		return

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -21,9 +23,42 @@ import (
 // route table runs fast while the status mapping is exercised exactly as
 // the Service produces it. Two trapdoors: artifact "figure5" fails with a
 // context.Canceled error (pinning the 503 mapping) and "figure7" panics
-// (pinning the recovery middleware).
+// (pinning the recovery middleware). Jobs run through a real manager over
+// an in-memory store, so the job routes serve real lifecycle behavior.
 type stubBackend struct {
-	sweeps int
+	sweeps   int
+	jobsOnce sync.Once
+	jobs     *jobs.Manager
+}
+
+// manager lazily builds the stub's job manager (tiny campaigns: one
+// workload, two Monte-Carlo runs).
+func (b *stubBackend) manager() *jobs.Manager {
+	b.jobsOnce.Do(func() {
+		m, err := jobs.NewManager(jobs.Config{
+			Store: jobs.NewMemStore(),
+			NewRunner: func(g sweep.Grid) *sweep.Runner {
+				return &sweep.Runner{Grid: g, Entries: registry.All()[:1], Runs: 2}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		b.jobs = m
+	})
+	return b.jobs
+}
+
+func (b *stubBackend) SubmitSweep(g sweep.Grid) (jobs.Record, error) {
+	return b.manager().Submit(g)
+}
+func (b *stubBackend) ResumeJob(id string) (jobs.Record, error) { return b.manager().Resume(id) }
+func (b *stubBackend) Job(id string) (jobs.Record, error)       { return b.manager().Get(id) }
+func (b *stubBackend) Jobs() ([]jobs.Record, error)             { return b.manager().List() }
+func (b *stubBackend) CancelJob(id string) (jobs.Record, error) { return b.manager().Cancel(id) }
+func (b *stubBackend) JobEvents(id string) ([]byte, error)      { return b.manager().Events(id) }
+func (b *stubBackend) JobArtifact(id, artifact string, f report.Format) (string, error) {
+	return b.manager().Artifact(id, artifact, f)
 }
 
 func (b *stubBackend) scenarios() []scenario.Spec { return scenario.All()[:2] }

@@ -399,6 +399,77 @@ func TestCoalescedRenders(t *testing.T) {
 	}
 }
 
+// slowSweepBackend gates campaign execution so the sweep-coalescing test
+// can hold N requests in one flight, then counts real executions.
+type slowSweepBackend struct {
+	*stubBackend
+	gate  chan struct{}
+	calls atomic.Int32
+}
+
+func (b *slowSweepBackend) Sweep(ctx context.Context, g sweep.Grid) (*sweep.Campaign, error) {
+	b.calls.Add(1)
+	select {
+	case <-b.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.stubBackend.Sweep(ctx, g)
+}
+
+// TestSweepCoalescing races concurrent /v1/sweep cache-miss requests whose
+// query spellings alias — a lo:hi:step range against its expanded value
+// list, the implicit default platform against the explicit name — and
+// asserts they all land on one canonical-grid flight: exactly one campaign
+// executes, every response is byte-identical with one shared ETag. Run
+// with -race.
+func TestSweepCoalescing(t *testing.T) {
+	m := &Metrics{}
+	b := &slowSweepBackend{stubBackend: &stubBackend{}, gate: make(chan struct{})}
+	srv := newMetricsServer(t, b, m, nil)
+	// Four spellings of one campaign: the canonical grid key normalizes
+	// the axis declaration, the handler normalizes the platform.
+	paths := []string{
+		"/v1/sweep?axis=lat%3D0:20:10",
+		"/v1/sweep?axis=lat%3D0,10,20",
+		"/v1/sweep?axis=lat%3D0:20:10&platform=baseline",
+		"/v1/sweep?axis=lat%3D0,10,20&platform=baseline",
+	}
+	n := len(paths)
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	etags := make([]string, n)
+	for i, path := range paths {
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			code, body, hdr := fetchHdr(t, srv, path, identity)
+			codes[i], bodies[i], etags[i] = code, string(body), hdr.Get("ETag")
+		}(i, path)
+	}
+	waitFor(t, "all sweep spellings to share one flight", func() bool {
+		return m.Renders.Load() == 1 && m.Coalesced.Load() == int64(n-1)
+	})
+	close(b.gate)
+	wg.Wait()
+	if got := b.calls.Load(); got != 1 {
+		t.Fatalf("backend executed %d campaigns for %d aliased requests, want exactly 1", got, n)
+	}
+	for i := range paths {
+		if codes[i] != 200 || bodies[i] != bodies[0] || etags[i] != etags[0] {
+			t.Errorf("spelling %q: status %d, body drift %v, ETag %q vs %q",
+				paths[i], codes[i], bodies[i] != bodies[0], etags[i], etags[0])
+		}
+	}
+	// The oversize guard sits on this synchronous surface only: a grid
+	// past the cap answers 400 with a pointer at the job surface.
+	code, body, _ := fetchHdr(t, srv, "/v1/sweep?axis=lat%3D0:1000:1&axis=bw%3D1,2,3,4,5", identity)
+	if code != 400 || !strings.Contains(string(body), "jobs") {
+		t.Errorf("oversized sync sweep = %d: %s", code, firstN(string(body), 160))
+	}
+}
+
 // TestFlightGroupWaiterCancel pins the non-poisoning contract: one waiter's
 // context death returns its own ctx.Err immediately, while the flight — and
 // its context — stays alive for the remaining waiter, who still gets the

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -45,8 +46,11 @@ func statusOf(err error) int {
 	switch {
 	case errors.As(err, &fe), errors.Is(err, sweep.ErrInvalid):
 		return http.StatusBadRequest
-	case errors.Is(err, scenario.ErrUnknown), errors.Is(err, experiments.ErrUnknownID):
+	case errors.Is(err, scenario.ErrUnknown), errors.Is(err, experiments.ErrUnknownID),
+		errors.Is(err, jobs.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, jobs.ErrNotDone):
+		return http.StatusConflict
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -17,6 +18,36 @@ func get(h http.HandlerFunc) http.Handler {
 			w.Header().Set("Allow", "GET, HEAD")
 			writeError(w, http.StatusMethodNotAllowed,
 				fmt.Errorf("method %s not allowed (want GET)", r.Method))
+			return
+		}
+		h(w, r)
+	})
+}
+
+// methods dispatches a route by HTTP method, answering anything not in
+// the table with a 405 envelope that lists the allowed methods — the
+// multi-method sibling of get for routes like /v1/jobs (GET list, POST
+// submit).
+func methods(table map[string]http.HandlerFunc) http.Handler {
+	var allow []string
+	if _, ok := table[http.MethodGet]; ok {
+		allow = append(allow, http.MethodGet, http.MethodHead)
+	}
+	for _, m := range []string{http.MethodPost, http.MethodDelete} {
+		if _, ok := table[m]; ok {
+			allow = append(allow, m)
+		}
+	}
+	allowed := strings.Join(allow, ", ")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, ok := table[r.Method]
+		if !ok && r.Method == http.MethodHead {
+			h, ok = table[http.MethodGet]
+		}
+		if !ok {
+			w.Header().Set("Allow", allowed)
+			writeError(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed (want %s)", r.Method, allowed))
 			return
 		}
 		h(w, r)

@@ -1,0 +1,231 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotExist marks a Store read of a key that was never written (or was
+// deleted). Every Store implementation returns errors matching
+// errors.Is(err, ErrNotExist) from Get on a missing key, so the manager
+// can distinguish "no checkpoint yet" from a real I/O failure.
+var ErrNotExist = errors.New("jobs: key does not exist")
+
+// Store is the pluggable artifact-store backend job state persists
+// through: a flat key → bytes namespace with slash-separated keys,
+// deliberately shaped like an object store (put/get/list/delete over
+// opaque keys, no directories, no partial reads) so a bucket-backed
+// implementation can slot in later without changing the manager. Append
+// is the one extension beyond the object-store minimum — it backs the
+// JSON-lines checkpoint and event surfaces; an object-store
+// implementation may emulate it with read-modify-write or multipart
+// uploads, since the manager never requires an append to be atomic
+// across processes (one manager owns a running job's keys at a time).
+//
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Put writes data under key, replacing any previous value atomically
+	// (a reader sees the old bytes or the new bytes, never a mix).
+	Put(key string, data []byte) error
+	// Get returns the value under key, or an error matching ErrNotExist.
+	Get(key string) ([]byte, error)
+	// Append appends data to the value under key, creating it if absent.
+	Append(key string, data []byte) error
+	// List returns every key with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Delete removes key and every key under it ("key/..."). Deleting a
+	// missing key is not an error.
+	Delete(key string) error
+}
+
+// DiskStore is the filesystem Store: each key is a file under the root
+// directory, Put is atomic via a same-directory rename, and Append uses
+// O_APPEND writes — a crashed process leaves at most one partial trailing
+// line, which the JSON-lines readers tolerate. This is the durable
+// backend behind `memdis jobs` and repro.WithJobDir.
+type DiskStore struct {
+	root string
+}
+
+// NewDiskStore opens (creating if needed) a disk store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: NewDiskStore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: NewDiskStore: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+// path maps a key to its file path, refusing escapes from the root.
+func (d *DiskStore) path(key string) (string, error) {
+	if key == "" || strings.HasPrefix(key, "/") || strings.Contains(key, "..") {
+		return "", fmt.Errorf("jobs: invalid store key %q", key)
+	}
+	return filepath.Join(d.root, filepath.FromSlash(key)), nil
+}
+
+// Put implements Store with a write-to-temp-then-rename, so a concurrent
+// reader (or a crash mid-write) never observes a torn value.
+func (d *DiskStore) Put(key string, data []byte) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Get implements Store.
+func (d *DiskStore) Get(key string) ([]byte, error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("jobs: %q: %w", key, ErrNotExist)
+	}
+	return b, err
+}
+
+// Append implements Store with a single O_APPEND write per call.
+func (d *DiskStore) Append(key string, data []byte) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// List implements Store.
+func (d *DiskStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(d.root, func(p string, e os.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) && !strings.HasPrefix(filepath.Base(p), ".put-") {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	sort.Strings(keys)
+	return keys, err
+}
+
+// Delete implements Store: the key's file and any subtree under it.
+func (d *DiskStore) Delete(key string) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.RemoveAll(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MemStore is the in-memory Store: jobs submitted against it run and
+// report exactly like disk-backed ones but do not survive the process —
+// the default backend of a repro.Service built without WithJobDir or
+// WithJobStore, and the natural test double.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: map[string][]byte{}} }
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("jobs: %q: %w", key, ErrNotExist)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Append implements Store.
+func (s *MemStore) Append(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append(s.m[key], data...)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	for k := range s.m {
+		if strings.HasPrefix(k, key+"/") {
+			delete(s.m, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStoreContract drives both Store implementations through the same
+// contract: atomic puts, append-creates, prefix listing, recursive
+// delete, and ErrNotExist on missing keys.
+func TestStoreContract(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range map[string]Store{"disk": disk, "mem": NewMemStore()} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := st.Get("jobs/x/job.json"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Get(missing) = %v, want ErrNotExist", err)
+			}
+			if err := st.Put("jobs/x/job.json", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put("jobs/x/job.json", []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if b, err := st.Get("jobs/x/job.json"); err != nil || string(b) != "v2" {
+				t.Fatalf("Get after overwrite = %q, %v", b, err)
+			}
+			if err := st.Append("jobs/x/events.jsonl", []byte("a\n")); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Append("jobs/x/events.jsonl", []byte("b\n")); err != nil {
+				t.Fatal(err)
+			}
+			if b, _ := st.Get("jobs/x/events.jsonl"); string(b) != "a\nb\n" {
+				t.Fatalf("Append composed %q, want %q", b, "a\nb\n")
+			}
+			if err := st.Put("jobs/y/job.json", []byte("other")); err != nil {
+				t.Fatal(err)
+			}
+			keys, err := st.List("jobs/x/")
+			if err != nil || len(keys) != 2 || keys[0] != "jobs/x/events.jsonl" || keys[1] != "jobs/x/job.json" {
+				t.Fatalf("List(jobs/x/) = %v, %v", keys, err)
+			}
+			if err := st.Delete("jobs/x"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Get("jobs/x/job.json"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Get after recursive delete = %v, want ErrNotExist", err)
+			}
+			if keys, _ := st.List("jobs/"); len(keys) != 1 {
+				t.Fatalf("List after delete = %v, want only jobs/y", keys)
+			}
+			if err := st.Delete("jobs/never-written"); err != nil {
+				t.Fatalf("Delete(missing) = %v, want nil", err)
+			}
+		})
+	}
+}
+
+// TestDiskStoreRejectsEscapes pins the key sanitizer: no absolute paths,
+// no parent traversal.
+func TestDiskStoreRejectsEscapes(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "/etc/passwd", "jobs/../../x"} {
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an escaping key", key)
+		}
+	}
+}
+
+// TestDecodeCheckpointTolerance pins the crash-tolerance contract: a
+// partial trailing line (the SIGKILL-mid-append case) is dropped, blank
+// lines are skipped, duplicates keep the last value, and out-of-range
+// indices are corruption.
+func TestDecodeCheckpointTolerance(t *testing.T) {
+	blob := []byte(`{"i":0,"cell":{"Cell":"base","Workload":"HPL"}}
+{"i":1,"cell":{"Cell":"gen=5","Workload":"HPL"}}
+
+{"i":1,"cell":{"Cell":"gen=5","Workload":"HPL"}}
+{"i":2,"cell":{"Cell":"gen=6","Wor`)
+	cells, err := decodeCheckpoint(blob, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Cell != "base" || cells[1].Cell != "gen=5" {
+		t.Fatalf("decodeCheckpoint = %v, want cells 0 and 1 only", cells)
+	}
+	if _, err := decodeCheckpoint([]byte(`{"i":9,"cell":{}}`+"\n"), 4); err == nil {
+		t.Error("decodeCheckpoint accepted an out-of-range index")
+	}
+	bm := bitmapOf(cells)
+	if !bitmapGet(bm, 0) || !bitmapGet(bm, 1) || bitmapGet(bm, 2) {
+		t.Errorf("bitmapOf = %08b, want bits 0 and 1", bm)
+	}
+}

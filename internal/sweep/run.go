@@ -67,6 +67,18 @@ type Runner struct {
 	// calls are serialized under the aggregator's lock but arrive in
 	// completion order, so done is strictly increasing).
 	Progress func(done, total int)
+	// Skip, when set, short-circuits one task: returning (cell, true) for
+	// task index i stores that cell verbatim instead of recomputing it.
+	// This is the checkpoint-resume hook — every cell is a pure function
+	// of its grid coordinates (stats.SeedAt), so replaying a previously
+	// computed cell is byte-identical to recomputing it. Skip must be safe
+	// for concurrent calls and must not call back into the runner.
+	Skip func(i int) (Cell, bool)
+	// OnCell, when set, receives each freshly *computed* cell (skipped
+	// tasks never reach it) with its task index, under the aggregator lock
+	// and before the Progress callback — the streaming checkpoint hook.
+	// Like Progress, it must not call back into the runner.
+	OnCell func(i int, c Cell)
 }
 
 // Run executes every cell of the campaign within the given limiter's
@@ -138,8 +150,14 @@ func (r *Runner) RunContext(ctx context.Context, l *pool.Limiter) (*Campaign, er
 	// are the grid cells; within a row, one task per workload.
 	nw := len(entries)
 	total := (len(points) + 1) * nw
-	ag := newAggregator(total, r.Progress)
+	ag := newAggregator(total, r.Progress, r.OnCell)
 	l.ForEach(total, func(i int) {
+		if r.Skip != nil {
+			if cell, ok := r.Skip(i); ok {
+				ag.replay(i, cell)
+				return
+			}
+		}
 		pi, wi := i/nw, i%nw
 		sp := r.Grid.Base
 		name := "base"
@@ -164,6 +182,15 @@ func (r *Runner) RunContext(ctx context.Context, l *pool.Limiter) (*Campaign, er
 		sum := sched.CompareLimited(e.Name, cfg, rep.Phase2Stats, runs,
 			stats.SeedAt(seed, uint64(pi), uint64(wi)), l)
 		cell.MeanSpeedup, cell.P75Reduction = sum.MeanSpeedup, sum.P75Reduction
+		if ctx.Err() != nil {
+			// Cancelled while this cell was in flight: the nested
+			// Monte-Carlo sweep drew from the cancelled limiter and may have
+			// been cut short, so the cell's scheduling stats are not the
+			// deterministic values an uncancelled run produces. Discard it —
+			// announcing it through OnCell would poison a checkpoint with a
+			// truncated distribution.
+			return
+		}
 		ag.add(i, cell)
 	})
 	if err := cl.Err(); err != nil {
@@ -202,21 +229,31 @@ type aggregator struct {
 	cells    []Cell
 	done     int
 	progress func(done, total int)
+	onCell   func(i int, c Cell)
 }
 
-func newAggregator(total int, progress func(done, total int)) *aggregator {
-	return &aggregator{cells: make([]Cell, total), progress: progress}
+func newAggregator(total int, progress func(done, total int), onCell func(i int, c Cell)) *aggregator {
+	return &aggregator{cells: make([]Cell, total), progress: progress, onCell: onCell}
 }
 
-// add streams one finished cell into the aggregator. The progress
-// callback runs under the aggregator lock, which is what makes the
-// documented "calls are serialized" contract hold — callbacks must not
-// call back into the runner.
-func (ag *aggregator) add(i int, c Cell) {
+// add streams one freshly computed cell into the aggregator. The OnCell
+// and Progress callbacks run under the aggregator lock, which is what
+// makes the documented "calls are serialized" contract hold — callbacks
+// must not call back into the runner.
+func (ag *aggregator) add(i int, c Cell) { ag.store(i, c, true) }
+
+// replay stores a checkpoint-restored cell: counted for progress, never
+// re-announced through OnCell (it was checkpointed by a previous run).
+func (ag *aggregator) replay(i int, c Cell) { ag.store(i, c, false) }
+
+func (ag *aggregator) store(i int, c Cell, computed bool) {
 	ag.mu.Lock()
 	defer ag.mu.Unlock()
 	ag.cells[i] = c
 	ag.done++
+	if computed && ag.onCell != nil {
+		ag.onCell(i, c)
+	}
 	if ag.progress != nil {
 		ag.progress(ag.done, len(ag.cells))
 	}

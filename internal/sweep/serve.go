@@ -57,6 +57,12 @@ func Handler(grid func(platform string) (Grid, error), run func(ctx context.Cont
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// Synchronous request boundary: big grids go through the job
+		// manager instead of pinning one HTTP request's lifetime.
+		if err := CheckSyncSize(g); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		format := r.URL.Query().Get("format")
 		if format == "" {
 			format = "text"

@@ -61,15 +61,33 @@ func invalidf(format string, args ...any) error {
 	return &invalidError{err: fmt.Errorf(format, args...)}
 }
 
-// MaxAxisValues bounds one axis's value count and MaxGridCells bounds a
-// grid's cross-product size. Both are enforced by validation (which every
-// entry point — Runner.Run, the HTTP handler, the CLI — goes through), so
-// a single request or typo'd range ("lat=0:1e12:1") fails fast instead of
-// allocating an astronomically sized campaign.
+// MaxAxisValues bounds one axis's value count. It is enforced by
+// validation (which every entry point — Runner.Run, the HTTP handler, the
+// CLI — goes through), so a typo'd range ("lat=0:1e12:1") fails fast
+// instead of allocating an astronomically sized campaign.
+//
+// MaxSyncGridCells bounds the campaigns a single *synchronous* request may
+// compute — the GET /v1/sweep route and its deprecated /sweep alias, whose
+// lifetime is one HTTP request. It is not a library limit: Grid.Validate
+// accepts any cross-product size, and grids above the cap run through the
+// asynchronous job manager (POST /v1/jobs, `memdis jobs submit`), which
+// checkpoints cells as they finish and survives restarts.
 const (
-	MaxAxisValues = 1024
-	MaxGridCells  = 4096
+	MaxAxisValues    = 1024
+	MaxSyncGridCells = 4096
 )
+
+// CheckSyncSize enforces the synchronous request-boundary cell cap: grids
+// above MaxSyncGridCells are a validation error (matching ErrInvalid, so
+// the HTTP layer maps it to a 400) whose message points the caller at the
+// job manager. Asynchronous entry points never call it.
+func CheckSyncSize(g Grid) error {
+	if n := g.Size(); n > MaxSyncGridCells {
+		return invalidf("sweep: grid has %d cells (max %d for a synchronous request; submit big grids as jobs: POST /v1/jobs or `memdis jobs submit`)",
+			n, MaxSyncGridCells)
+	}
+	return nil
+}
 
 // Axis is one swept dimension of a campaign grid: a named parameter and
 // the ordered list of values it takes. The supported names are:
@@ -109,7 +127,10 @@ func ParseAxis(s string) (Axis, error) {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return Axis{}, invalidf("sweep: axis %q: malformed lo:hi:step range", s)
 		}
-		if step <= 0 || hi < lo {
+		// Negated comparisons so a NaN endpoint or step fails the guard
+		// (NaN compares false either way around, so `step <= 0 || hi < lo`
+		// would wave it through into the point-count arithmetic).
+		if !(step > 0) || !(hi >= lo) {
 			return Axis{}, invalidf("sweep: axis %q: want lo <= hi and step > 0", s)
 		}
 		// Count the points instead of accumulating lo += step, so binary
@@ -269,9 +290,6 @@ func (g Grid) Validate() error {
 			return invalidf("sweep: duplicate axis %q", a.Name)
 		}
 		seen[a.Name] = true
-	}
-	if n := g.Size(); n > MaxGridCells {
-		return invalidf("sweep: grid has %d cells (max %d)", n, MaxGridCells)
 	}
 	pts, err := g.Points()
 	if err != nil {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -59,6 +60,79 @@ func TestParseAxis(t *testing.T) {
 				t.Errorf("ParseAxis(%q)[%d] = %v, want %v", tc.in, i, v, tc.want[i])
 			}
 		}
+	}
+}
+
+// TestParseAxisRangeEdges pins the lo:hi:step expansion at its numeric
+// edges: inclusive endpoints appear exactly once even when the step does
+// not divide the span in binary floating point, the value count sits
+// exactly on the MaxAxisValues boundary (the historical pts+1 off-by-one
+// lived here), and degenerate steps — denormals, NaN, infinities — either
+// expand to a finite monotone axis or fail validation, never hang or
+// allocate an astronomical slice.
+func TestParseAxisRangeEdges(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		n    int     // expected value count (when err is false)
+		last float64 // expected final value
+		err  bool
+	}{
+		// Endpoint handling: hi is included exactly once, for steps that
+		// divide the span exactly and for binary-inexact ones; a zero-span
+		// range is the single point lo.
+		{name: "exact step includes hi once", in: "lat=0:400:100", n: 5, last: 400},
+		{name: "inexact step still lands on hi", in: "frac=0.1:0.3:0.1", n: 3, last: 0.3},
+		{name: "step past hi stops at lo", in: "lat=0:5:10", n: 1, last: 0},
+		{name: "zero-span range is one point", in: "lat=250:250:50", n: 1, last: 250},
+		// The MaxAxisValues boundary: lat=0:1023:1 expands to exactly 1024
+		// values (the cap), one more point is rejected — the off-by-one
+		// either way would admit 1025 values or reject 1024.
+		{name: "exactly MaxAxisValues accepted", in: "lat=0:1023:1", n: MaxAxisValues, last: 1023},
+		{name: "MaxAxisValues+1 rejected", in: "lat=0:1024:1", err: true},
+		{name: "astronomical range rejected", in: "lat=0:1e12:1", err: true},
+		// Degenerate steps: a denormal step over a finite span would yield
+		// ~1e308 points — the cap must trip before any allocation. A
+		// denormal *span* with a proportionate step is legitimate. NaN and
+		// infinity fail the range guard (NaN compares false both ways, so
+		// this is the regression pin for the negated-comparison guard).
+		{name: "denormal step over real span", in: "frac=0.1:0.9:5e-324", err: true},
+		{name: "denormal step zero span", in: "frac=0.5:0.5:5e-324", n: 1, last: 0.5},
+		{name: "denormal span and step", in: "lat=0:1e-320:1e-321", n: 11, last: 1e-320},
+		{name: "NaN step", in: "lat=0:10:NaN", err: true},
+		{name: "NaN hi", in: "lat=0:NaN:1", err: true},
+		{name: "NaN lo", in: "lat=NaN:10:1", err: true},
+		{name: "infinite hi", in: "lat=0:+Inf:1", err: true},
+		{name: "infinite step", in: "lat=0:10:+Inf", err: true}, // lo + 0*Inf is NaN, caught by value validation
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := ParseAxis(tc.in)
+			if tc.err {
+				if err == nil {
+					t.Fatalf("ParseAxis(%q) = %v, want error", tc.in, a.Values)
+				}
+				if !errors.Is(err, ErrInvalid) {
+					t.Fatalf("ParseAxis(%q) error %v does not match ErrInvalid", tc.in, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseAxis(%q): %v", tc.in, err)
+			}
+			if len(a.Values) != tc.n {
+				t.Fatalf("ParseAxis(%q) yields %d values, want %d", tc.in, len(a.Values), tc.n)
+			}
+			for i := 1; i < len(a.Values); i++ {
+				if a.Values[i] <= a.Values[i-1] {
+					t.Fatalf("ParseAxis(%q) not strictly increasing at [%d]: %v", tc.in, i, a.Values)
+				}
+			}
+			got := a.Values[len(a.Values)-1]
+			if diff := got - tc.last; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("ParseAxis(%q) final value = %v, want %v", tc.in, got, tc.last)
+			}
+		})
 	}
 }
 
@@ -153,8 +227,21 @@ func TestSizeCaps(t *testing.T) {
 		return vs
 	}()}
 	g := Grid{Base: scenario.Default(), Axes: []Axis{wide, frac}} // 10000 cells
-	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "max") {
-		t.Errorf("Grid.Validate should reject %d cells: %v", g.Size(), err)
+	// Big grids are no longer a library error — they run through the job
+	// manager — but the synchronous request boundary still refuses them,
+	// pointing at the jobs surface.
+	if err := g.Validate(); err != nil {
+		t.Errorf("Grid.Validate should accept %d cells (big grids go through jobs): %v", g.Size(), err)
+	}
+	err := CheckSyncSize(g)
+	if err == nil || !strings.Contains(err.Error(), "max") || !strings.Contains(err.Error(), "jobs") {
+		t.Errorf("CheckSyncSize should reject %d cells with a pointer at jobs: %v", g.Size(), err)
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Errorf("CheckSyncSize error should match ErrInvalid, got %v", err)
+	}
+	if err := CheckSyncSize(Grid{Base: scenario.Default()}); err != nil {
+		t.Errorf("CheckSyncSize rejected a 1-cell grid: %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/pool"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -59,6 +60,12 @@ type Service struct {
 	// engine invocation on every suite draws from — concurrent requests
 	// queue inside it instead of multiplying workers.
 	limiter *pool.Limiter
+
+	// jobStore persists campaign jobs (WithJobStore/WithJobDir; in-memory
+	// by default) and jobs is the manager executing them on the shared
+	// limiter.
+	jobStore jobs.Store
+	jobs     *jobs.Manager
 
 	mu     sync.Mutex
 	suites map[string]*ExperimentSuite
@@ -203,6 +210,18 @@ func New(opts ...Option) (*Service, error) {
 	s.limiter = pool.NewLimiter(s.workers)
 	s.compute = make(chan struct{}, 1)
 	s.store = NewArtifactStore(s.source)
+	if s.jobStore == nil {
+		s.jobStore = jobs.NewMemStore()
+	}
+	mgr, err := jobs.NewManager(jobs.Config{
+		Store:     s.jobStore,
+		NewRunner: s.newSweepRunner,
+		Limiter:   s.limiter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: New: %w", err)
+	}
+	s.jobs = mgr
 	return s, nil
 }
 

@@ -36,13 +36,28 @@ func (s *Service) Ready() bool { return s.ready.Load() }
 // cache. Serving while warming is safe: requests compute what they need
 // and the engine serializes invocations. Once ctx dies the warm stops at
 // the engine's next task boundary, the channel closes, no goroutine leaks,
-// and the Service stays not-ready. StartWarm is idempotent: later calls
-// return the same channel.
+// and the Service stays not-ready. StartWarm is idempotent while a warm
+// is in flight or after one has succeeded: those calls return the same
+// channel. A warm that finished with an error does not latch — the next
+// StartWarm clears the recorded error and begins a fresh attempt, so a
+// transient failure (a cancelled boot context, a briefly unavailable
+// dependency) is retryable to readiness without restarting the process.
 func (s *Service) StartWarm(ctx context.Context) <-chan struct{} {
 	s.warmMu.Lock()
 	defer s.warmMu.Unlock()
 	if s.warmDone != nil {
-		return s.warmDone
+		restart := false
+		select {
+		case <-s.warmDone:
+			// Finished: only a failed warm warrants a new attempt.
+			restart = s.warmErr != nil
+		default:
+			// Still in flight: join it.
+		}
+		if !restart {
+			return s.warmDone
+		}
+		s.warmErr = nil
 	}
 	done := make(chan struct{})
 	s.warmDone = done

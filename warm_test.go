@@ -145,6 +145,77 @@ func TestWarmCancellation(t *testing.T) {
 	}
 }
 
+// TestWarmRetryAfterFailure pins the retry contract: a warm that finished
+// with an error (here a pre-cancelled boot context — the transient kind a
+// supervisor's shutdown race produces) must not latch the service
+// not-ready forever. The failure is diagnosable from /healthz, and the
+// next StartWarm begins a fresh attempt that carries the service to
+// readiness without a process restart.
+func TestWarmRetryAfterFailure(t *testing.T) {
+	svc := warmService(t, WithWarm())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	select {
+	case <-svc.StartWarm(dead):
+	case <-time.After(time.Minute):
+		t.Fatal("warm under a dead context never closed its channel")
+	}
+	if err := svc.WarmErr(); err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("warm error = %v, want a context cancellation", err)
+	}
+	if svc.Ready() {
+		t.Fatal("service reports ready after a failed warm")
+	}
+
+	// The probe shows the stuck-not-ready diagnosis: still 200 (the pod is
+	// live), ready=false, and the warm error verbatim — never cached.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		Ready   bool   `json:"ready"`
+		WarmErr string `json:"warm_error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Cache-Control") != "no-store" {
+		t.Fatalf("healthz after failed warm = %d (Cache-Control %q), want 200 no-store",
+			resp.StatusCode, resp.Header.Get("Cache-Control"))
+	}
+	if probe.Ready || !strings.Contains(probe.WarmErr, context.Canceled.Error()) {
+		t.Fatalf("healthz after failed warm: ready=%v warm_error=%q", probe.Ready, probe.WarmErr)
+	}
+
+	// Retry: StartWarm starts over instead of returning the dead channel,
+	// stays idempotent while the new attempt is in flight, and reaches
+	// readiness.
+	done := svc.StartWarm(context.Background())
+	if again := svc.StartWarm(context.Background()); again != done {
+		t.Error("StartWarm is not idempotent while the retry is in flight")
+	}
+	select {
+	case <-done:
+	case <-time.After(8 * time.Minute): // generous: one slow core under -race
+		t.Fatal("retried warm did not finish")
+	}
+	if err := svc.WarmErr(); err != nil {
+		t.Fatalf("retried warm failed: %v", err)
+	}
+	if !svc.Ready() {
+		t.Fatal("service not ready after a successful retry")
+	}
+	// Success latches: further calls rejoin the finished warm.
+	if again := svc.StartWarm(context.Background()); again != done {
+		t.Error("StartWarm after a successful warm returned a new channel")
+	}
+}
+
 // TestWarmOptionValidation pins the constructor contract: warm platforms
 // must name registered scenarios, and warming a cache-less service is a
 // configuration error, not a silent no-op.
