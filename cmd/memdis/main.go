@@ -10,6 +10,7 @@
 //	memdis -out artifacts all         # write figureN.txt|.json|.csv files
 //	memdis sweep                      # default parameter-sweep campaign
 //	memdis sweep -axis gen=0,5,6 -axis frac=0.25:0.75:0.25
+//	memdis sweep -cpuprofile cpu.out -memprofile mem.out  # profile the campaign
 //	memdis jobs submit -dir state -axis lat=0:400:50   # campaign as a durable job
 //	memdis jobs status -dir state     # list jobs in the store
 //	memdis jobs resume -dir state ID  # pick a killed job up from its checkpoint
@@ -17,6 +18,7 @@
 //	memdis jobs artifact -dir state ID sweep           # a done job's artifact
 //	memdis serve                      # serve the versioned HTTP API
 //	memdis -warm default serve        # same, pre-warming the artifact caches
+//	memdis -pprof serve               # same, with net/http/pprof on /debug/pprof/
 //	memdis -runs 5 -workloads HPL all # reduced Monte-Carlo scale
 //	memdis list                       # list experiment ids
 //	memdis platforms                  # list platform scenarios
@@ -80,8 +82,11 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -105,6 +110,7 @@ func run(args []string) error {
 	runs := fs.Int("runs", 0, "Monte-Carlo scheduler runs per comparison (0 = the paper's 100)")
 	workloadList := fs.String("workloads", "", "comma-separated workload subset (default: all six)")
 	warm := fs.String("warm", "", "`memdis serve` startup cache warm: comma-separated scenarios, or \"default\" for the -platform scenario")
+	pprofFlag := fs.Bool("pprof", false, "`memdis serve`: mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -192,8 +198,22 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "memdis: cache warm complete, server ready")
 			}()
 		}
+		handler := svc.Handler()
+		if *pprofFlag {
+			// The profiling endpoints ride on a wrapper mux so the service
+			// handler keeps owning "/" (and its legacy alias subtree).
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+			mux.Handle("/", handler)
+			handler = mux
+			fmt.Fprintf(os.Stderr, "memdis: pprof mounted at http://%s/debug/pprof/\n", *addr)
+		}
 		fmt.Fprintf(os.Stderr, "memdis: serving the /v1 API on http://%s/ (default platform %s)\n", *addr, *platform)
-		return http.ListenAndServe(*addr, svc.Handler())
+		return http.ListenAndServe(*addr, handler)
 	case "all":
 		if len(args) > 1 {
 			// Catch `memdis all -j 4`: flag parsing stops at the first
@@ -239,6 +259,8 @@ func runSweep(ctx context.Context, args []string, opts []repro.Option, platform 
 	})
 	runs := fs.Int("runs", 0, "Monte-Carlo scheduler runs per cell (0 = the paper's 100)")
 	workloadList := fs.String("workloads", "", "comma-separated workload subset (default: all six)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memprofile := fs.String("memprofile", "", "write a post-campaign heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -266,9 +288,36 @@ func runSweep(ctx context.Context, args []string, opts []repro.Option, platform 
 	if err != nil {
 		return err
 	}
+	// Profile exactly the campaign execution: the CPU profile stops (and
+	// the heap snapshot is taken) before rendering and emission.
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	camp, err := svc.Sweep(ctx, g)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC() // settle the heap so the profile shows live campaign state
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
 	}
 	svc.Store().Put(platform, camp.Sweep())
 	svc.Store().Put(platform, camp.Sensitivity())

@@ -78,10 +78,14 @@ func (s *Service) Handler() http.Handler {
 			return s.Sweep(ctx, g)
 		})
 	return api.New(api.Config{
-		Backend:         serviceBackend{s: s},
-		Logger:          logger,
-		Ready:           s.Ready,
-		WarmErr:         s.WarmErr,
+		Backend: serviceBackend{s: s},
+		Logger:  logger,
+		Ready:   s.Ready,
+		WarmErr: s.WarmErr,
+		ProfileCache: func() (hits, misses, joins int64) {
+			cs := s.ProfileCacheStats()
+			return cs.Hits, cs.Misses, cs.Joins
+		},
 		LegacyArtifacts: s.store.Handler(experiments.IDs, s.defaultPlatform),
 		LegacySweep:     legacySweep,
 	})

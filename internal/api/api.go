@@ -10,7 +10,7 @@
 //
 //	/healthz                   liveness + readiness: {"status":"ok","ready":true}
 //	/v1                        index: artifact ids, platforms, formats, routes
-//	/v1/stats                  serving counters (renders, coalesced, 304s, ...)
+//	/v1/stats                  serving + profile-cache counters (renders, coalesced, profile_hits, ...)
 //	/v1/artifacts              artifact index
 //	/v1/artifacts/{id}         one artifact (canonical ids only)
 //	/v1/platforms              the scenario table
@@ -120,6 +120,11 @@ type Config struct {
 	// Metrics receives the serving counters; nil allocates a private set.
 	// Served as a snapshot on GET /v1/stats either way.
 	Metrics *Metrics
+	// ProfileCache reports the backend's shared profile-cache counters;
+	// nil omits them. GET /v1/stats merges them into the snapshot as the
+	// flat keys profile_hits, profile_misses and profile_joins, keeping
+	// the route a plain string → int64 map for harnesses that diff it.
+	ProfileCache func() (hits, misses, joins int64)
 	// LegacyArtifacts and LegacySweep, when set, are mounted at the
 	// pre-/v1 paths ("/" with its /artifacts/ subtree, and "/sweep") as
 	// deprecated aliases: same behavior, plus Deprecation/Link headers
@@ -203,7 +208,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // harness diffs around a load run.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	if s.cfg.ProfileCache != nil {
+		hits, misses, joins := s.cfg.ProfileCache()
+		snap["profile_hits"] = hits
+		snap["profile_misses"] = misses
+		snap["profile_joins"] = joins
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleIndex describes the API: the served ids and names plus the route

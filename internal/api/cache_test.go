@@ -334,6 +334,28 @@ func TestStatsRoute(t *testing.T) {
 	}
 }
 
+// TestStatsProfileCacheKeys checks the profile-cache hook merges into the
+// stats snapshot as flat int64 keys — the shape sbench and the CI smoke
+// decode — and that an unwired hook leaves the snapshot unchanged.
+func TestStatsProfileCacheKeys(t *testing.T) {
+	h := New(Config{
+		Backend: &stubBackend{},
+		ProfileCache: func() (hits, misses, joins int64) {
+			return 5, 3, 1
+		},
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	_, body, _ := fetchHdr(t, srv, "/v1/stats", nil)
+	var snap map[string]int64
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("stats not a flat map[string]int64: %v\n%s", err, body)
+	}
+	if snap["profile_hits"] != 5 || snap["profile_misses"] != 3 || snap["profile_joins"] != 1 {
+		t.Errorf("profile keys = %v, want hits=5 misses=3 joins=1", snap)
+	}
+}
+
 // slowBackend gates one artifact's render so the coalescing tests can hold
 // N requests in flight, then counts how many times the backend actually
 // ran.

@@ -21,9 +21,7 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/lbench"
 	"repro/internal/machine"
@@ -35,79 +33,46 @@ import (
 )
 
 // Profiler runs the multi-level analysis on a platform configuration.
-// The zero value is not usable; construct with NewProfiler.
+// The zero value is not usable; construct with NewProfiler or
+// NewProfilerShared.
 //
-// A profiler is safe for concurrent use: all caches are guarded, and
-// concurrent requests for the same profile are coalesced so each workload
-// execution happens exactly once (single-flight). Cached reports are shared
-// between callers and must be treated as read-only.
+// A profiler is safe for concurrent use: all memoization lives in a
+// SharedCache, where concurrent requests for the same profile are coalesced
+// so each workload execution happens exactly once (single-flight). Cached
+// reports are shared between callers and must be treated as read-only.
+//
+// Each sub-result is memoized under a dependency key — the subset of cfg a
+// result can actually read (see sharedcache.go) — so profilers for
+// different platforms backed by one SharedCache reuse each other's work
+// whenever the platforms agree on the fields that matter: sweeps stepping a
+// link axis recompute nothing but the link-dependent levels.
 type Profiler struct {
-	cfg machine.Config
-
-	// The caches memoize pure functions of (workload, scale[, fraction])
-	// on the fixed platform cfg, so sweeps that revisit a configuration —
-	// Figures 5/7/8 all take Level-1 profiles, Figures 9-11 and 13 revisit
-	// the same Level-2 capacity points — re-run nothing. Entries hold a
-	// sync.Once so concurrent drivers requesting the same profile block on
-	// one execution instead of duplicating it.
-	mu         sync.Mutex
-	peakCache  map[string]*flight[uint64]
-	l1Cache    map[string]*flight[Level1Report]
-	l2Cache    map[string]*flight[Level2Report]
-	curveCache map[string]*flight[[]ScalingPoint]
+	cfg   machine.Config
+	cache *SharedCache
 }
 
-// flight is one single-flight cache slot.
-type flight[T any] struct {
-	once sync.Once
-	val  T
-	// panicked records a panic raised by the compute function: sync.Once
-	// marks itself done even then, so without this every later caller for
-	// the key would silently receive the zero value.
-	panicked any
-}
-
-// cached returns the memoized value for key, computing it with f exactly
-// once even under concurrent callers. The profiler lock is held only for
-// the map lookup, never during f. If f panics, the panic is re-raised for
-// every caller of the key rather than poisoning the slot with a zero
-// value.
-func cached[T any](p *Profiler, m map[string]*flight[T], key string, f func() T) T {
-	p.mu.Lock()
-	e := m[key]
-	if e == nil {
-		e = &flight[T]{}
-		m[key] = e
-	}
-	p.mu.Unlock()
-	e.once.Do(func() {
-		defer func() {
-			if r := recover(); r != nil {
-				e.panicked = r
-				panic(r)
-			}
-		}()
-		e.val = f()
-	})
-	if e.panicked != nil {
-		panic(e.panicked)
-	}
-	return e.val
-}
-
-// NewProfiler returns a profiler for the given platform.
+// NewProfiler returns a profiler for the given platform with a private
+// cache. Sweeps that profile many related platforms should prefer
+// NewProfilerShared so link-independent results are computed once.
 func NewProfiler(cfg machine.Config) *Profiler {
-	return &Profiler{
-		cfg:        cfg,
-		peakCache:  map[string]*flight[uint64]{},
-		l1Cache:    map[string]*flight[Level1Report]{},
-		l2Cache:    map[string]*flight[Level2Report]{},
-		curveCache: map[string]*flight[[]ScalingPoint]{},
+	return NewProfilerShared(cfg, NewSharedCache())
+}
+
+// NewProfilerShared returns a profiler for the given platform backed by the
+// shared cache c (a private cache if c is nil). Any number of profilers for
+// any mix of platforms may share one cache concurrently.
+func NewProfilerShared(cfg machine.Config, c *SharedCache) *Profiler {
+	if c == nil {
+		c = NewSharedCache()
 	}
+	return &Profiler{cfg: cfg, cache: c}
 }
 
 // Config returns the platform configuration.
 func (p *Profiler) Config() machine.Config { return p.cfg }
+
+// Cache returns the shared cache backing this profiler.
+func (p *Profiler) Cache() *SharedCache { return p.cache }
 
 // Run executes a workload on a fresh machine with the given config and
 // returns the machine (phases recorded).
@@ -121,8 +86,8 @@ func Run(cfg machine.Config, w workloads.Workload) *machine.Machine {
 // single-tier system — the quantity the paper's setup_waste protocol sizes
 // local capacity against.
 func (p *Profiler) PeakUsage(entry registry.Entry, scale int) uint64 {
-	key := fmt.Sprintf("%s@%d", entry.Name, scale)
-	return cached(p, p.peakCache, key, func() uint64 {
+	key := execKeyFor(p.cfg, entry.Name, scale)
+	return cached(p.cache, p.cache.peak, key, func() uint64 {
 		return Run(p.cfg, entry.New(scale)).PeakFootprint()
 	})
 }
@@ -187,8 +152,15 @@ type Level1Report struct {
 // system, including the prefetching study of §4.2. Reports are memoized per
 // (workload, scale); treat the returned slices as read-only.
 func (p *Profiler) Level1(entry registry.Entry, scale int) Level1Report {
-	key := fmt.Sprintf("%s@%d", entry.Name, scale)
-	return cached(p, p.l1Cache, key, func() Level1Report {
+	key := l1Key{
+		exec:                singleTierKeyFor(p.cfg, entry.Name, scale),
+		peakFlops:           p.cfg.PeakFlops,
+		localBandwidth:      p.cfg.LocalBandwidth,
+		localLatency:        p.cfg.LocalLatency,
+		mlp:                 p.cfg.MLP,
+		streamDemandPenalty: p.cfg.StreamDemandPenalty,
+	}
+	return cached(p.cache, p.cache.l1, key, func() Level1Report {
 		return p.level1(entry, scale)
 	})
 }
@@ -260,8 +232,8 @@ type ScalingPoint struct {
 // at a scale: pages sorted by descending access count, cumulative access
 // share sampled at each percent of the footprint.
 func (p *Profiler) ScalingCurve(entry registry.Entry, scale int) []ScalingPoint {
-	key := fmt.Sprintf("%s@%d", entry.Name, scale)
-	return cached(p, p.curveCache, key, func() []ScalingPoint {
+	key := singleTierKeyFor(p.cfg, entry.Name, scale)
+	return cached(p.cache, p.cache.curve, key, func() []ScalingPoint {
 		return p.scalingCurve(entry, scale)
 	})
 }
@@ -328,8 +300,13 @@ type Level2Report struct {
 // sized to fraction of peak usage. Reports are memoized per (workload,
 // scale, fraction); treat the returned slices as read-only.
 func (p *Profiler) Level2(entry registry.Entry, scale int, localFraction float64) Level2Report {
-	key := fmt.Sprintf("%s@%d@%g", entry.Name, scale, localFraction)
-	return cached(p, p.l2Cache, key, func() Level2Report {
+	key := l2Key{
+		exec:           execKeyFor(p.cfg, entry.Name, scale),
+		fraction:       localFraction,
+		localBandwidth: p.cfg.LocalBandwidth,
+		dataBandwidth:  p.cfg.Link.DataBandwidth,
+	}
+	return cached(p.cache, p.cache.l2, key, func() Level2Report {
 		return p.level2(entry, scale, localFraction)
 	})
 }
@@ -418,13 +395,21 @@ func (r Level2Report) DominantPhase(cfg machine.Config) (Level2Phase, bool) {
 	return out, best >= 0
 }
 
-// RooflineModel returns the memory-roofline model for the platform.
+// RooflineModel returns the memory-roofline model for the platform,
+// memoized on the three ceilings it is built from.
 func (p *Profiler) RooflineModel() roofline.Model {
-	return roofline.Model{
-		PeakFlops:       p.cfg.PeakFlops,
-		LocalBandwidth:  p.cfg.LocalBandwidth,
-		RemoteBandwidth: p.cfg.Link.DataBandwidth,
+	key := rooflineKey{
+		peakFlops:      p.cfg.PeakFlops,
+		localBandwidth: p.cfg.LocalBandwidth,
+		dataBandwidth:  p.cfg.Link.DataBandwidth,
 	}
+	return cached(p.cache, p.cache.roofline, key, func() roofline.Model {
+		return roofline.Model{
+			PeakFlops:       p.cfg.PeakFlops,
+			LocalBandwidth:  p.cfg.LocalBandwidth,
+			RemoteBandwidth: p.cfg.Link.DataBandwidth,
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

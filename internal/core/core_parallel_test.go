@@ -49,11 +49,11 @@ func TestProfilerConcurrentCallersShareOneExecution(t *testing.T) {
 	}
 
 	// The caches hold exactly one entry per distinct key. Level2 computes
-	// the peak via ConfigForLocalFraction, so peakCache has one entry too.
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.l2Cache) != 1 || len(p.peakCache) != 1 {
-		t.Fatalf("cache sizes: l2=%d peak=%d, want 1 and 1", len(p.l2Cache), len(p.peakCache))
+	// the peak via ConfigForLocalFraction, so the peak map has one entry too.
+	p.cache.mu.Lock()
+	defer p.cache.mu.Unlock()
+	if len(p.cache.l2) != 1 || len(p.cache.peak) != 1 {
+		t.Fatalf("cache sizes: l2=%d peak=%d, want 1 and 1", len(p.cache.l2), len(p.cache.peak))
 	}
 }
 

@@ -89,11 +89,20 @@ type Suite struct {
 	sweeps  map[string]*campaignEntry
 }
 
-// NewSuite returns a suite on the given platform with the paper's defaults.
+// NewSuite returns a suite on the given platform with the paper's defaults
+// and a private profile cache.
 func NewSuite(cfg machine.Config) *Suite {
+	return NewSuiteShared(cfg, nil)
+}
+
+// NewSuiteShared is NewSuite backed by the given dependency-keyed profile
+// cache (a private cache when nil). A Service installs one cache across all
+// of its suites, so platforms that agree on the fields a profile level
+// reads — scenario variants, sweep cells — share sub-results across suites.
+func NewSuiteShared(cfg machine.Config, c *core.SharedCache) *Suite {
 	return &Suite{
 		Cfg:       cfg,
-		Profiler:  core.NewProfiler(cfg),
+		Profiler:  core.NewProfilerShared(cfg, c),
 		Entries:   registry.All(),
 		Runs:      100,
 		Fractions: append([]float64(nil), CapacityFractions...),
@@ -127,10 +136,16 @@ func (s *Suite) releaseInvoke() { <-s.invoke }
 // caller construction bug, and rejecting it loudly here replaces the old
 // behavior of headline() silently substituting the paper's 0.50 split.
 func NewSuiteFor(sp scenario.Spec) *Suite {
+	return NewSuiteForShared(sp, nil)
+}
+
+// NewSuiteForShared is NewSuiteFor backed by the given shared profile cache
+// (a private cache when nil); see NewSuiteShared.
+func NewSuiteForShared(sp scenario.Spec, c *core.SharedCache) *Suite {
 	if err := sp.Validate(); err != nil {
 		panic(fmt.Sprintf("experiments: NewSuiteFor: %v", err))
 	}
-	s := NewSuite(sp.Platform)
+	s := NewSuiteShared(sp.Platform, c)
 	s.Fractions = append([]float64(nil), sp.CapacityFractions...)
 	s.Headline = sp.HeadlineFraction
 	return s

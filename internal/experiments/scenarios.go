@@ -65,7 +65,11 @@ func (s *Suite) profilerFor(sp scenario.Spec) *core.Profiler {
 	if p, ok := s.scenProfs[sp.Name]; ok && p.Config() == sp.Platform {
 		return p
 	}
-	p := core.NewProfiler(sp.Platform)
+	// Per-scenario profilers draw from the suite's shared cache: dependency
+	// keys make cross-platform sharing sound, so a scenario differing from
+	// the base only in link parameters reuses the base's link-independent
+	// profiles.
+	p := core.NewProfilerShared(sp.Platform, s.Profiler.Cache())
 	s.scenProfs[sp.Name] = p
 	return p
 }

@@ -112,6 +112,7 @@ func (s *Suite) runSweepLocked(ctx context.Context, g sweep.Grid) (*sweep.Campai
 			Entries:      s.Entries,
 			Runs:         s.Runs,
 			BaseProfiler: s.Profiler,
+			Cache:        s.Profiler.Cache(),
 		}
 		e.c, e.err = r.RunContext(ctx, s.lim())
 	})

@@ -158,6 +158,13 @@ type Event struct {
 	// Error the diagnostic on a "failed" event.
 	Skipped int    `json:"skipped,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// CacheHits, CacheMisses and CacheJoins are the cumulative shared
+	// profile-cache counters at the time of a "cell" event (hits count
+	// cross-cell reuse, joins coalesced in-flight computes), so a follower
+	// can watch campaign cheapness build up as the grid fills in.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+	CacheJoins  int64 `json:"cache_joins,omitempty"`
 }
 
 // bitmapSet sets bit i in b, growing it as needed.

@@ -255,9 +255,16 @@ func (m *Manager) run(ctx context.Context, lj *liveJob, r *sweep.Runner, cells m
 		rec := lj.rec
 		lj.mu.Unlock()
 		_ = m.putRecord(rec)
-		m.event(Event{Event: "cell", Job: id, Time: rec.Updated,
+		ev := Event{Event: "cell", Job: id, Time: rec.Updated,
 			I: i, Done: rec.Done, Total: total, Cell: c.Cell, Workload: c.Workload,
-			Seed: stats.SeedAt(seed, uint64(i/nw), uint64(i%nw))})
+			Seed: stats.SeedAt(seed, uint64(i/nw), uint64(i%nw))}
+		if r.Cache != nil {
+			// Cumulative shared-cache counters: how cheap the campaign is
+			// running, visible line by line in the event log.
+			cs := r.Cache.Stats()
+			ev.CacheHits, ev.CacheMisses, ev.CacheJoins = cs.Hits, cs.Misses, cs.Joins
+		}
+		m.event(ev)
 	}
 
 	camp, err := r.RunContext(ctx, m.cfg.Limiter)

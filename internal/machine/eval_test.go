@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// fuzzPhases builds a deterministic mix of phase shapes: compute-bound,
+// local-bandwidth-bound, remote-heavy, latency-bound, and fully empty, so
+// both the precomputed fast path (no link traffic) and the full fixed-point
+// loop are exercised.
+func fuzzPhases(rng *stats.RNG, n int) []PhaseStats {
+	phases := make([]PhaseStats, n)
+	for i := range phases {
+		p := &phases[i]
+		p.Name = "f"
+		p.Flops = rng.Float64() * 1e12
+		p.LocalBytes = uint64(rng.Intn(1 << 30))
+		p.DemandMissLocal = uint64(rng.Intn(1 << 20))
+		switch i % 3 {
+		case 0:
+			// Link-free: the loi-independent fast path.
+		case 1:
+			p.RemoteBytes = uint64(rng.Intn(1 << 30))
+			p.DemandMissRemote = uint64(rng.Intn(1 << 20))
+			p.StreamMissRemote = uint64(rng.Intn(1 << 16))
+		case 2:
+			// Remote demand misses without remote payload bytes.
+			p.DemandMissRemote = uint64(rng.Intn(1 << 18))
+		}
+		p.StreamMissLocal = uint64(rng.Intn(1 << 16))
+	}
+	return phases
+}
+
+// TestEvaluatorMatchesPhaseTimeBitExact checks the precomputed evaluator
+// returns bit-identical times to Config.PhaseTime across phase shapes,
+// interference levels, and config variations — the property that keeps
+// golden artifacts byte-identical when the scheduler uses the evaluator.
+func TestEvaluatorMatchesPhaseTimeBitExact(t *testing.T) {
+	rng := stats.NewRNG(42)
+	cfgs := []Config{Default()}
+	weird := Default()
+	weird.MLP = 0 // PhaseTime clamps this to 1; the evaluator must too
+	weird.LatencyBWCoupling = 2.5
+	cfgs = append(cfgs, weird)
+	zeroPeak := Default()
+	zeroPeak.Link.PeakTraffic = 0
+	zeroPeak.PeakFlops = 0
+	zeroPeak.LocalBandwidth = 0
+	cfgs = append(cfgs, zeroPeak)
+
+	lois := []float64{0, 0.05, 0.25, 0.5, 0.9, 1.0}
+	for ci, cfg := range cfgs {
+		phases := fuzzPhases(rng, 60)
+		ev := NewEvaluator(cfg, phases)
+		for i, p := range phases {
+			for _, loi := range lois {
+				want := cfg.PhaseTime(p, loi)
+				got := ev.PhaseTime(i, loi)
+				if got != want {
+					t.Fatalf("cfg %d phase %d loi %g: evaluator %v != PhaseTime %v", ci, i, loi, got, want)
+				}
+			}
+		}
+		for _, loi := range lois {
+			if got, want := ev.RunTime(loi), cfg.RunTime(phases, loi); got != want {
+				t.Fatalf("cfg %d loi %g: evaluator RunTime %v != Config.RunTime %v", ci, loi, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluatorConcurrentUse hammers one evaluator from many goroutines
+// (run under -race) and checks results stay bit-identical to PhaseTime.
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	cfg := Default()
+	phases := fuzzPhases(stats.NewRNG(7), 12)
+	ev := NewEvaluator(cfg, phases)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			lois := []float64{0, 0.1 * float64(g), 0.6}
+			for rep := 0; rep < 50; rep++ {
+				for i, p := range phases {
+					for _, loi := range lois {
+						if ev.PhaseTime(i, loi) != cfg.PhaseTime(p, loi) {
+							done <- errMismatch
+							return
+						}
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errorString("evaluator result diverged from PhaseTime under concurrency")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func BenchmarkPhaseTime(b *testing.B) {
+	cfg := Default()
+	phases := fuzzPhases(stats.NewRNG(3), 16)
+	b.Run("config", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg.PhaseTime(phases[i%len(phases)], 0.3)
+		}
+	})
+	b.Run("evaluator", func(b *testing.B) {
+		ev := NewEvaluator(cfg, phases)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.PhaseTime(i%len(phases), 0.3)
+		}
+	})
+}

@@ -53,17 +53,28 @@ func Aware() Interference { return Interference{MaxLoI: 0.2, Period: 60} }
 // process, advancing the piecewise-constant interference level at every
 // Period boundary. Within a constant-LoI window the phase progresses at rate
 // 1/T(LoI); the run time is the total simulated wall clock.
+//
+// Distributions of many runs over the same (cfg, phases) should go through
+// Distribution*/Compare*, which build the phase evaluator once and share it
+// across runs instead of paying the timing-model setup per run.
 func SimulateRun(cfg machine.Config, phases []machine.PhaseStats, pol Interference, rng *stats.RNG) float64 {
+	return simulateRun(machine.NewEvaluator(cfg, phases), pol, rng)
+}
+
+// simulateRun is SimulateRun on a prebuilt evaluator: the Monte-Carlo hot
+// path. The evaluator returns bit-identical times to Config.PhaseTime, so
+// the simulated wall clock matches the direct implementation exactly.
+func simulateRun(ev *machine.Evaluator, pol Interference, rng *stats.RNG) float64 {
 	if pol.Period <= 0 {
 		pol.Period = 60
 	}
 	now := 0.0
 	loi := rng.Float64() * pol.MaxLoI
 	nextRoll := pol.Period
-	for _, ph := range phases {
+	for pi, n := 0, ev.Len(); pi < n; pi++ {
 		remaining := 1.0 // fraction of the phase left
 		for remaining > 1e-12 {
-			t := cfg.PhaseTime(ph, loi)
+			t := ev.PhaseTime(pi, loi)
 			if t <= 0 {
 				break
 			}
@@ -104,12 +115,15 @@ func DistributionParallel(cfg machine.Config, phases []machine.PhaseStats, pol I
 // concurrency limiter, so callers that are themselves part of a parallel
 // sweep (the Figure 13 driver) stay inside one global budget.
 func DistributionLimited(cfg machine.Config, phases []machine.PhaseStats, pol Interference, n int, seed uint64, l *pool.Limiter) []float64 {
-	// Split derives all n substreams in one O(n) pass over the jump chain;
-	// substream i is identical to stats.NewRNG(seed).Stream(i).
-	rngs := stats.NewRNG(seed).Split(n)
+	// Substreams derives all n substream states in one O(n) pass over the
+	// jump chain and one allocation; substream i is identical to
+	// stats.NewRNG(seed).Stream(i). The phase evaluator is built once and
+	// shared read-only by every run.
+	rngs := stats.NewRNG(seed).Substreams(n)
 	times := make([]float64, n)
+	ev := machine.NewEvaluator(cfg, phases)
 	l.ForEach(n, func(i int) {
-		times[i] = SimulateRun(cfg, phases, pol, rngs[i])
+		times[i] = simulateRun(ev, pol, &rngs[i])
 	})
 	return times
 }

@@ -161,6 +161,21 @@ func (r *RNG) Split(n int) []*RNG {
 	return out
 }
 
+// Substreams is Split returning the generators by value in one contiguous
+// slice — a single allocation instead of n+1, for Monte-Carlo fan-outs that
+// create distributions in a hot loop. Substreams(n)[i] generates exactly
+// the same sequence as Stream(i); parallel tasks may each advance their own
+// element concurrently.
+func (r *RNG) Substreams(n int) []RNG {
+	out := make([]RNG, n)
+	sub := RNG{s: r.s}
+	for i := 0; i < n; i++ {
+		sub.LongJump()
+		out[i] = sub
+	}
+	return out
+}
+
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

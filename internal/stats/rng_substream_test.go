@@ -75,6 +75,22 @@ func TestSplitMatchesStream(t *testing.T) {
 	}
 }
 
+func TestSubstreamsMatchStream(t *testing.T) {
+	base := NewRNG(1234)
+	subs := base.Substreams(5)
+	if len(subs) != 5 {
+		t.Fatalf("Substreams(5) returned %d generators", len(subs))
+	}
+	for i := range subs {
+		want := base.Stream(i)
+		for d := 0; d < 50; d++ {
+			if subs[i].Uint64() != want.Uint64() {
+				t.Fatalf("Substreams[%d] diverged from Stream(%d) at draw %d", i, i, d)
+			}
+		}
+	}
+}
+
 func TestStreamNegativePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

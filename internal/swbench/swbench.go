@@ -1,0 +1,187 @@
+// Package swbench benchmarks the sweep runner's cross-cell profile
+// sharing: the same campaign grid is executed in isolated mode (a private
+// profile cache per distinct platform — the pre-sharing behaviour) and in
+// shared mode (one dependency-keyed core.SharedCache across every cell),
+// and the wall-clock ratio between the two is the measured value of the
+// sharing. Results are byte-identical across the modes by construction —
+// the harness verifies it on every run — so the ratio is pure saved work.
+//
+// cmd/swbench is the CLI wrapper; its committed output, BENCH_sweep.json,
+// pins the speedup on a link-axis-dominated grid in CI.
+package swbench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/report"
+	"repro/internal/sweep"
+	"repro/internal/workloads/registry"
+)
+
+// Schema identifies the JSON layout of a Result, first field of the
+// emitted document.
+const Schema = "swbench/v1"
+
+// Config declares one benchmark: the campaign to time and how often.
+type Config struct {
+	// Grid is the campaign to execute in both modes.
+	Grid sweep.Grid
+	// Entries is the workload table (registry.All when nil).
+	Entries []registry.Entry
+	// Runs is the per-cell Monte-Carlo run count (the sweep default when
+	// zero).
+	Runs int
+	// Reps is how many times each mode executes (min 1). Every rep starts
+	// from a cold cache, so the median measures a fresh campaign, not a
+	// warm-cache replay.
+	Reps int
+	// Workers is the fan-out width (sequential when <= 1).
+	Workers int
+	// Progress, when set, receives one line per finished rep.
+	Progress func(format string, args ...any)
+}
+
+// Mode is one measured execution mode of the campaign.
+type Mode struct {
+	// WallSeconds are the per-rep campaign wall-clock times in rep order;
+	// P50Seconds is their median and TotalSeconds their sum.
+	WallSeconds  []float64 `json:"wall_seconds"`
+	P50Seconds   float64   `json:"p50_seconds"`
+	TotalSeconds float64   `json:"total_seconds"`
+	// CellsPerSecond is grid cells (incl. the base reference row) divided
+	// by the median wall-clock.
+	CellsPerSecond float64 `json:"cells_per_second"`
+	// Cache is the profile-cache counter snapshot of the last rep. Every
+	// rep runs cold, so Misses counts the distinct sub-results actually
+	// computed and Hits the cross-cell reuses; in isolated mode sharing is
+	// off and the counters stay zero.
+	Cache core.CacheStats `json:"cache"`
+}
+
+// Result is the benchmark document cmd/swbench emits as BENCH_sweep.json.
+type Result struct {
+	// Schema is the layout tag (the Schema constant).
+	Schema string `json:"schema"`
+	// Grid is the campaign's canonical grid key; Cells its generated cell
+	// count (the base reference row adds one more); Workloads the table
+	// width per cell.
+	Grid      string `json:"grid"`
+	Cells     int    `json:"cells"`
+	Workloads int    `json:"workloads"`
+	// Runs, Reps and Workers echo the configuration.
+	Runs    int `json:"runs"`
+	Reps    int `json:"reps"`
+	Workers int `json:"workers"`
+	// Isolated is the no-sharing baseline; Shared the dependency-keyed
+	// shared-cache mode.
+	Isolated Mode `json:"isolated"`
+	Shared   Mode `json:"shared"`
+	// Speedup is Isolated.P50Seconds / Shared.P50Seconds.
+	Speedup float64 `json:"speedup"`
+	// Identical records the byte-identity cross-check: the rendered sweep
+	// artifact of the two modes compared equal. A run that ever produced
+	// false indicates a correctness bug, not a benchmark artifact.
+	Identical bool `json:"identical"`
+}
+
+// median returns the p50 of xs (mean of the middle pair for even counts).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// Run executes the benchmark: Reps cold-cache executions of the grid in
+// isolated mode, then in shared mode, cross-checking that both produce the
+// byte-identical sweep artifact.
+func Run(ctx context.Context, c Config) (*Result, error) {
+	if err := c.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	entries := c.Entries
+	if entries == nil {
+		entries = registry.All()
+	}
+	reps := c.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	res := &Result{
+		Schema:    Schema,
+		Grid:      c.Grid.Key(),
+		Cells:     c.Grid.Size(),
+		Workloads: len(entries),
+		Runs:      c.Runs,
+		Reps:      reps,
+		Workers:   c.Workers,
+	}
+
+	progress := c.Progress
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	renders := map[bool]string{}
+	for _, isolated := range []bool{true, false} {
+		mode := &res.Shared
+		name := "shared"
+		if isolated {
+			mode = &res.Isolated
+			name = "isolated"
+		}
+		for rep := 0; rep < reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r := &sweep.Runner{
+				Grid:     c.Grid,
+				Entries:  entries,
+				Runs:     c.Runs,
+				Isolated: isolated,
+			}
+			if !isolated {
+				// A fresh cache per rep keeps every rep a cold run.
+				r.Cache = core.NewSharedCache()
+			}
+			l := pool.NewLimiter(c.Workers)
+			start := time.Now()
+			camp, err := r.RunContext(ctx, l)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start).Seconds()
+			mode.WallSeconds = append(mode.WallSeconds, wall)
+			mode.TotalSeconds += wall
+			if rep == 0 {
+				renders[isolated] = report.RenderText(camp.Sweep())
+			}
+			if r.Cache != nil {
+				mode.Cache = r.Cache.Stats()
+			}
+			progress("%s rep %d/%d: %.3fs", name, rep+1, reps, wall)
+		}
+		mode.P50Seconds = median(mode.WallSeconds)
+		if mode.P50Seconds > 0 {
+			mode.CellsPerSecond = float64(res.Cells+1) / mode.P50Seconds
+		}
+	}
+	res.Identical = renders[true] == renders[false]
+	if !res.Identical {
+		return res, fmt.Errorf("swbench: isolated and shared campaigns rendered differently — sharing changed results")
+	}
+	if res.Shared.P50Seconds > 0 {
+		res.Speedup = res.Isolated.P50Seconds / res.Shared.P50Seconds
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package swbench
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/workloads/registry"
+)
+
+// tinyConfig is the smallest meaningful benchmark: two cells differing
+// only in link generation, one workload, one Monte-Carlo run.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	e, err := registry.Get("HPL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Grid: sweep.Grid{Base: scenario.Default(), Axes: []sweep.Axis{
+			{Name: "gen", Values: []float64{0, 5}},
+		}},
+		Entries: []registry.Entry{e},
+		Runs:    1,
+		Reps:    1,
+		Workers: 2,
+	}
+}
+
+// TestRunTinyGrid drives the harness end to end on the tiny grid: both
+// modes execute, render identically, the shared mode records cross-cell
+// hits, and the result marshals with the pinned schema tag.
+func TestRunTinyGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two small campaigns; the CI smoke drives the swbench binary instead")
+	}
+	res, err := Run(context.Background(), tinyConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("isolated and shared campaigns rendered differently")
+	}
+	if res.Shared.Cache.Hits == 0 || res.Shared.Cache.Misses == 0 {
+		t.Errorf("shared cache counters = %+v, want nonzero hits and misses", res.Shared.Cache)
+	}
+	if st := res.Isolated.Cache; st.Hits+st.Misses+st.Joins != 0 {
+		t.Errorf("isolated mode reported cache traffic: %+v", st)
+	}
+	if res.Speedup <= 0 || res.Isolated.P50Seconds <= 0 || res.Shared.P50Seconds <= 0 {
+		t.Errorf("degenerate timings: speedup=%v iso=%v shared=%v",
+			res.Speedup, res.Isolated.P50Seconds, res.Shared.P50Seconds)
+	}
+	if res.Cells != 2 || res.Workloads != 1 {
+		t.Errorf("cells=%d workloads=%d, want 2 and 1", res.Cells, res.Workloads)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round struct {
+		Schema string `json:"schema"`
+		Shared struct {
+			Cache struct {
+				Hits int64 `json:"hits"`
+			} `json:"cache"`
+		} `json:"shared"`
+	}
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Schema != Schema {
+		t.Errorf("schema = %q, want %q", round.Schema, Schema)
+	}
+	if round.Shared.Cache.Hits != res.Shared.Cache.Hits {
+		t.Errorf("hits did not round-trip: %d vs %d", round.Shared.Cache.Hits, res.Shared.Cache.Hits)
+	}
+}
+
+// TestRunRejectsBadGrid pins validation-before-measurement.
+func TestRunRejectsBadGrid(t *testing.T) {
+	c := tinyConfig(t)
+	c.Grid.Axes = []sweep.Axis{{Name: "bogus", Values: []float64{1}}}
+	if _, err := Run(context.Background(), c); err == nil {
+		t.Fatal("invalid grid ran anyway")
+	}
+}
+
+// TestMedian pins the even/odd p50 arithmetic.
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("empty median = %v, want 0", got)
+	}
+}

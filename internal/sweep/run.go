@@ -62,6 +62,18 @@ type Runner struct {
 	// to the base reuse it; distinct platforms get their own profiler,
 	// shared across all cells with identical physics.
 	BaseProfiler *core.Profiler
+	// Cache is the dependency-keyed shared cache backing every cell
+	// profiler the campaign creates, so cells that differ only along axes a
+	// sub-result cannot read (a link axis for peak/Level-1/curve, a latency
+	// axis for Level-2) reuse each other's work. When nil, RunContext
+	// installs the BaseProfiler's cache if there is one, else a fresh
+	// private cache — either way every cell of the campaign shares one.
+	Cache *core.SharedCache
+	// Isolated disables cross-cell sharing: each distinct platform gets a
+	// fully private cache, reproducing the pre-sharing behaviour. This is
+	// the benchmark baseline knob (cmd/swbench measures shared vs isolated)
+	// — results are byte-identical either way, only the work differs.
+	Isolated bool
 	// Progress, when set, is called after each finished cell with the
 	// number of completed and total cells (from the streaming aggregator;
 	// calls are serialized under the aggregator's lock but arrive in
@@ -127,8 +139,23 @@ func (r *Runner) RunContext(ctx context.Context, l *pool.Limiter) (*Campaign, er
 		seed = DefaultSeed
 	}
 
-	// One profiler per distinct platform physics: cells differing only in
-	// capacity fraction (or sharing a generation preset) profile once.
+	// One profiler per distinct platform physics, all backed by one shared
+	// dependency-keyed cache: cells differing only in capacity fraction (or
+	// sharing a generation preset) reuse the whole profile, and cells
+	// differing along a link axis reuse every link-independent sub-result.
+	// Isolated mode reverts to a private cache per distinct platform — the
+	// no-sharing baseline the sweep benchmark compares against.
+	shared := r.Cache
+	if shared == nil && !r.Isolated {
+		if r.BaseProfiler != nil {
+			shared = r.BaseProfiler.Cache()
+		} else {
+			shared = core.NewSharedCache()
+		}
+		// Publish the effective cache so the caller can observe hit/miss
+		// counters after (or during) the run.
+		r.Cache = shared
+	}
 	profs := map[machine.Config]*core.Profiler{}
 	if r.BaseProfiler != nil && r.BaseProfiler.Config() == r.Grid.Base.Platform {
 		profs[r.Grid.Base.Platform] = r.BaseProfiler
@@ -137,7 +164,12 @@ func (r *Runner) RunContext(ctx context.Context, l *pool.Limiter) (*Campaign, er
 		if p, ok := profs[cfg]; ok {
 			return p
 		}
-		p := core.NewProfiler(cfg)
+		var p *core.Profiler
+		if r.Isolated {
+			p = core.NewProfiler(cfg)
+		} else {
+			p = core.NewProfilerShared(cfg, shared)
+		}
 		profs[cfg] = p
 		return p
 	}

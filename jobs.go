@@ -99,7 +99,7 @@ func WithJobDir(dir string) Option {
 // suite owning its base system so the job shares that suite's warm
 // profiler caches.
 func (s *Service) newSweepRunner(g SweepGrid) *sweep.Runner {
-	r := &sweep.Runner{Grid: g, Entries: s.entries, Runs: s.runs}
+	r := &sweep.Runner{Grid: g, Entries: s.entries, Runs: s.runs, Cache: s.profCache}
 	for _, sp := range s.scenarios {
 		base := Scenario{
 			Name:              sp.Platform.Name,

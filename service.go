@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/jobs"
 	"repro/internal/pool"
@@ -60,6 +61,13 @@ type Service struct {
 	// engine invocation on every suite draws from — concurrent requests
 	// queue inside it instead of multiplying workers.
 	limiter *pool.Limiter
+
+	// profCache is the one dependency-keyed profile cache behind every
+	// suite, sweep runner and campaign job this Service executes: profile
+	// sub-results are keyed by the configuration fields they actually read,
+	// so any two platforms the Service touches — scenario variants, sweep
+	// cells — share whatever the differing fields cannot influence.
+	profCache *core.SharedCache
 
 	// jobStore persists campaign jobs (WithJobStore/WithJobDir; in-memory
 	// by default) and jobs is the manager executing them on the shared
@@ -208,6 +216,7 @@ func New(opts ...Option) (*Service, error) {
 	}
 	s.ready.Store(!s.warm)
 	s.limiter = pool.NewLimiter(s.workers)
+	s.profCache = core.NewSharedCache()
 	s.compute = make(chan struct{}, 1)
 	s.store = NewArtifactStore(s.source)
 	if s.jobStore == nil {
@@ -303,7 +312,7 @@ func (s *Service) suite(name string) (*ExperimentSuite, error) {
 	if err != nil {
 		return nil, err
 	}
-	su := experiments.NewSuiteFor(sp)
+	su := experiments.NewSuiteForShared(sp, s.profCache)
 	su.Workers = s.workers
 	su.Limiter = s.limiter
 	if s.runs > 0 {
@@ -470,9 +479,20 @@ func (s *Service) Sweep(ctx context.Context, g SweepGrid) (*SweepCampaign, error
 			return su.RunSweepContext(ctx, g)
 		}
 	}
-	r := &sweep.Runner{Grid: g, Entries: s.entries, Runs: s.runs}
+	r := &sweep.Runner{Grid: g, Entries: s.entries, Runs: s.runs, Cache: s.profCache}
 	return r.RunContext(ctx, s.limiter)
 }
+
+// ProfileCacheStats is a snapshot of the Service's shared profile-cache
+// counters: Misses counts distinct sub-results computed, Hits counts
+// lookups served from a finished entry (cross-cell and cross-platform
+// reuse), and Joins counts lookups that coalesced onto an in-flight
+// compute. GET /v1/stats reports these as profile_hits, profile_misses and
+// profile_joins.
+type ProfileCacheStats = core.CacheStats
+
+// ProfileCacheStats returns the Service-wide profile-cache counters.
+func (s *Service) ProfileCacheStats() ProfileCacheStats { return s.profCache.Stats() }
 
 // specEqual reports whether two scenario specs describe the same base
 // system: same name, platform physics and capacity protocol. The
