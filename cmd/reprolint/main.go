@@ -1,0 +1,86 @@
+// Command reprolint runs the repo's contract analyzers (internal/lint)
+// over the module: determinism, cachekeys, errsentinel, ctxflow and
+// exporteddocs. It is stdlib-only — go/parser, go/ast and go/types with
+// the source importer — so CI runs it with nothing but the go toolchain:
+//
+//	go run ./cmd/reprolint ./...
+//
+// Diagnostics print one per line as path:line:col: rule: message. Exit
+// status is 0 when the tree is clean, 1 when any diagnostic is reported,
+// and 2 when packages fail to load or type-check. Suppress a single
+// diagnostic with a //repro:allow <rule> — <reason> comment on the
+// offending line or the line above; the driver rejects reason-less and
+// stale suppressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("rules", false, "list the analyzers and their contracts, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: reprolint [-rules] [pattern ...]\n\npatterns are ./... (default), dir/..., or package directories\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot finds the nearest enclosing directory holding a go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -296,7 +296,7 @@ func (s *server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		// coalesce onto one render.
 		keyPlatform = s.cfg.Backend.DefaultPlatform()
 	}
-	key := keyPlatform + "\x00" + canon + "\x00" + string(f)
+	key := flightKey{platform: keyPlatform, artifact: canon, format: f}
 	out, err := s.flights.Do(r.Context(), key, func(ctx context.Context) (string, error) {
 		return s.cfg.Backend.Rendered(ctx, platform, canon, f)
 	})
@@ -382,7 +382,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// normalizes axis declarations — a range spelling and its expanded
 	// value list key identically), so N cache-miss queries for one
 	// campaign view trigger one execution and one render.
-	key := "sweep\x00" + platform + "\x00" + g.Key() + "\x00" + artifact + "\x00" + string(f)
+	key := flightKey{platform: platform, artifact: artifact, grid: g.Key(), format: f}
 	out, err := s.flights.Do(r.Context(), key, func(ctx context.Context) (string, error) {
 		camp, err := s.cfg.Backend.Sweep(ctx, g)
 		if err != nil {

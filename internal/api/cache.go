@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/report"
 )
 
 // cacheControl is the policy stamped on every cacheable /v1 (and alias)
@@ -141,6 +143,24 @@ type flight struct {
 	panicked any
 }
 
+// flightKey identifies one coalesceable render. A typed comparable struct
+// per the cachekeys contract: the fields are exactly the inputs the
+// rendered bytes depend on, there is no separator to collide on, and
+// adding a dependency means adding a field the compiler checks at every
+// call site.
+type flightKey struct {
+	// platform is the canonical platform name (the default platform's
+	// name when the request left it implicit, so both spellings coalesce).
+	platform string
+	// artifact is the canonical artifact id, or the sweep view name.
+	artifact string
+	// grid is the canonical sweep declaration (Grid.Key()) for sweep
+	// flights, empty for plain artifact renders.
+	grid string
+	// format is the negotiated rendering format.
+	format report.Format
+}
+
 // flightGroup coalesces concurrent cache-miss renders: the first request
 // for a key starts the render, later arrivals wait on the same flight, and
 // the underlying computation runs under a context that dies only when the
@@ -150,11 +170,11 @@ type flight struct {
 type flightGroup struct {
 	metrics *Metrics
 	mu      sync.Mutex
-	flights map[string]*flight
+	flights map[flightKey]*flight
 }
 
 func newFlightGroup(m *Metrics) *flightGroup {
-	return &flightGroup{metrics: m, flights: map[string]*flight{}}
+	return &flightGroup{metrics: m, flights: map[flightKey]*flight{}}
 }
 
 // Do returns fn's result for key, executing it at most once across all
@@ -163,13 +183,16 @@ func newFlightGroup(m *Metrics) *flightGroup {
 // requests start fresh) only when no caller remains. A panic inside fn
 // re-panics in every waiting caller, keeping the recovery middleware's
 // one-envelope contract.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (string, error)) (string, error) {
+func (g *flightGroup) Do(ctx context.Context, key flightKey, fn func(context.Context) (string, error)) (string, error) {
 	g.mu.Lock()
 	f, ok := g.flights[key]
 	if ok {
 		f.refs++
 		g.metrics.Coalesced.Add(1)
 	} else {
+		// The flight deliberately outlives any single waiter: its context
+		// dies when the last waiter leaves, not when the first one does.
+		//repro:allow ctxflow — coalesced flight lifecycle is detached by design; cancellation is refcounted below
 		fctx, cancel := context.WithCancel(context.Background())
 		f = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
 		g.flights[key] = f

@@ -520,13 +520,13 @@ func TestFlightGroupWaiterCancel(t *testing.T) {
 	defer cancelA()
 	aCh := make(chan res, 1)
 	go func() {
-		out, err := g.Do(ctxA, "k", fn)
+		out, err := g.Do(ctxA, flightKey{artifact: "k"}, fn)
 		aCh <- res{out, err}
 	}()
 	<-started
 	bCh := make(chan res, 1)
 	go func() {
-		out, err := g.Do(context.Background(), "k", fn)
+		out, err := g.Do(context.Background(), flightKey{artifact: "k"}, fn)
 		bCh <- res{out, err}
 	}()
 	waitFor(t, "second caller to join the flight", func() bool { return m.Coalesced.Load() == 1 })
@@ -562,7 +562,7 @@ func TestFlightGroupAbandonAndRetry(t *testing.T) {
 	defer cancel()
 	resCh := make(chan error, 1)
 	go func() {
-		_, err := g.Do(ctx, "k", func(fctx context.Context) (string, error) {
+		_, err := g.Do(ctx, flightKey{artifact: "k"}, func(fctx context.Context) (string, error) {
 			<-fctx.Done()
 			fnDone <- fctx.Err()
 			return "", fctx.Err()
@@ -579,7 +579,7 @@ func TestFlightGroupAbandonAndRetry(t *testing.T) {
 	if err := <-fnDone; err != context.Canceled {
 		t.Fatalf("flight context ended with %v, want context.Canceled", err)
 	}
-	out, err := g.Do(context.Background(), "k", func(context.Context) (string, error) {
+	out, err := g.Do(context.Background(), flightKey{artifact: "k"}, func(context.Context) (string, error) {
 		return "fresh", nil
 	})
 	if err != nil || out != "fresh" {

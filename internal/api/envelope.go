@@ -49,7 +49,7 @@ func statusOf(err error) int {
 	case errors.Is(err, scenario.ErrUnknown), errors.Is(err, experiments.ErrUnknownID),
 		errors.Is(err, jobs.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, jobs.ErrNotDone):
+	case errors.Is(err, jobs.ErrNotDone), errors.Is(err, jobs.ErrRecordModified):
 		return http.StatusConflict
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable

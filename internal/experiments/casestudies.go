@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/machine"
@@ -110,17 +111,24 @@ func (r Figure12Result) Report() report.Doc {
 	}
 	d := report.New("figure12").Append(tb.Block())
 	// Improvement summary lines, matching the paper's headline numbers.
-	byKey := map[string]Figure12Cell{}
-	for _, c := range r.Cells {
-		byKey[fmt.Sprintf("%.0f-%s", c.PooledFraction*100, c.Variant)] = c
+	// The lookup keys on a typed struct (cachekeys contract): exactly the
+	// two inputs the headline pairing depends on, no formatted-string
+	// drift.
+	type fig12Key struct {
+		pooledPct int
+		variant   bfs.Variant
 	}
-	for _, pooled := range []string{"50", "75"} {
-		b, okB := byKey[pooled+"-baseline"]
-		o, okO := byKey[pooled+"-optimized"]
+	byKey := map[fig12Key]Figure12Cell{}
+	for _, c := range r.Cells {
+		byKey[fig12Key{int(math.Round(c.PooledFraction * 100)), c.Variant}] = c
+	}
+	for _, pooled := range []int{50, 75} {
+		b, okB := byKey[fig12Key{pooled, bfs.Baseline}]
+		o, okO := byKey[fig12Key{pooled, bfs.Optimized}]
 		if !okB || !okO || o.Runtime <= 0 {
 			continue
 		}
-		d.Append(report.NoteBlock(fmt.Sprintf("\n%s%% pooled: speedup %.1f%%, remote access %s -> %s, remote bytes -%.0f%%",
+		d.Append(report.NoteBlock(fmt.Sprintf("\n%d%% pooled: speedup %.1f%%, remote access %s -> %s, remote bytes -%.0f%%",
 			pooled, 100*(b.Runtime/o.Runtime-1),
 			units.Percent(b.RemoteAccessRatio), units.Percent(o.RemoteAccessRatio),
 			100*(1-float64(o.RemoteBytes)/float64(b.RemoteBytes)))))

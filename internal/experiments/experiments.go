@@ -374,6 +374,7 @@ func (s *Suite) All() []Result {
 // on the same Suite (the engine parallelizes internally; outer concurrency
 // would race on the limiter field).
 func (s *Suite) AllParallel(workers int) []Result {
+	//repro:allow ctxflow — ctx-less compatibility wrapper; cancellable callers use AllParallelContext
 	rs, err := s.AllParallelContext(context.Background(), workers)
 	if err != nil {
 		panic(err) // unreachable: the background context never cancels

@@ -59,6 +59,7 @@ const maxCampaigns = 16
 // same grid share one execution. (The memo assumes Entries and Runs are
 // configured before the first campaign runs, like the other suite fields.)
 func (s *Suite) RunSweep(g sweep.Grid) (*sweep.Campaign, error) {
+	//repro:allow ctxflow — ctx-less compatibility wrapper; cancellable callers use RunSweepContext
 	return s.RunSweepContext(context.Background(), g)
 }
 
@@ -95,6 +96,9 @@ func (s *Suite) runSweepLocked(ctx context.Context, g sweep.Grid) (*sweep.Campai
 	e, ok := s.sweeps[key]
 	if !ok {
 		if len(s.sweeps) >= maxCampaigns {
+			// Arbitrary-victim eviction of a bounded memo: which entry is
+			// dropped affects only recompute cost, never rendered output.
+			//repro:allow determinism — memo eviction victim choice never reaches results
 			for k := range s.sweeps {
 				if k != key {
 					delete(s.sweeps, k)
@@ -133,6 +137,7 @@ func (s *Suite) runSweepLocked(ctx context.Context, g sweep.Grid) (*sweep.Campai
 // from inside a running invocation, so it must not take the invocation
 // slot.
 func (s *Suite) defaultCampaign() *sweep.Campaign {
+	//repro:allow ctxflow — engine-internal driver path: the installed invocation context governs the run; see below
 	c, err := s.runSweepLocked(context.Background(), s.SweepGrid(nil))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

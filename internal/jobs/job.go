@@ -61,6 +61,11 @@ var ErrNotFound = errors.New("jobs: no such job")
 // the HTTP layer maps it to a 409.
 var ErrNotDone = errors.New("jobs: job is not done")
 
+// ErrRecordModified marks a resume whose stored declaration no longer
+// hashes to the job id — the record was tampered with (or corrupted) at
+// rest, so it must never run. The HTTP layer maps it to a 409.
+var ErrRecordModified = errors.New("jobs: stored job declaration was modified")
+
 // notFoundError is a lookup failure matching ErrNotFound.
 type notFoundError struct{ id string }
 

@@ -164,7 +164,7 @@ func (m *Manager) Resume(id string) (Record, error) {
 		return Record{}, err
 	}
 	if wantID != id {
-		return Record{}, fmt.Errorf("jobs: resume %s: record hashes to %s — the stored declaration was modified", id, wantID)
+		return Record{}, fmt.Errorf("jobs: resume %s: record hashes to %s: %w", id, wantID, ErrRecordModified)
 	}
 	r := m.cfg.NewRunner(rec.Grid)
 	names, runs, seed := normalize(r)
@@ -215,6 +215,9 @@ func (m *Manager) startLocked(r *sweep.Runner, rec Record, resumed bool) (Record
 			Done: rec.Done, Total: rec.Total, Skipped: len(cells)})
 	}
 
+	// A job deliberately outlives the submitting request: its lifecycle
+	// is Cancel/Close, not the caller's context.
+	//repro:allow ctxflow — background job detaches from the request by design; stop via Cancel/Close
 	ctx, cancel := context.WithCancel(context.Background())
 	lj := &liveJob{rec: rec, cancel: cancel, done: make(chan struct{})}
 	m.live[rec.ID] = lj

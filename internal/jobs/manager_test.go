@@ -455,7 +455,7 @@ func TestResumeRevalidates(t *testing.T) {
 	if err := m.putRecord(loaded); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Resume(rec.ID); err == nil || !strings.Contains(err.Error(), "modified") {
-		t.Errorf("Resume(tampered) = %v, want the tamper diagnostic", err)
+	if _, err := m.Resume(rec.ID); !errors.Is(err, ErrRecordModified) {
+		t.Errorf("Resume(tampered) = %v, want ErrRecordModified", err)
 	}
 }

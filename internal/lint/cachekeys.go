@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CacheKeysAnalyzer enforces the typed-cache-key contract (PR 8): memo
+// maps, the shared profile cache and single-flight groups key on typed
+// comparable structs whose fields are exactly the inputs the cached value
+// depends on. Sprintf- or concatenation-built string keys are banned at
+// those sinks: they collide under adversarial separators, drift silently
+// when a dependency is added, and defeat the dependency-sharing design.
+//
+// Three shapes are flagged:
+//
+//  1. a string argument built by fmt.Sprintf or string concatenation
+//     passed to a method or function on a cache-like target (type or
+//     function name containing cache/flight/group/memo/singleflight);
+//  2. a cache-like method or function *declaring* a string parameter
+//     named key (the API itself invites stringly keys);
+//  3. a map index whose key expression is a direct fmt.Sprintf call or a
+//     non-constant string concatenation.
+func CacheKeysAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "cachekeys",
+		Doc:  "cache, memo and single-flight keys must be typed comparable structs, not built strings",
+		Appl: KindLibrary,
+		Run:  runCacheKeys,
+	}
+}
+
+func runCacheKeys(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCacheCall(pass, n)
+			case *ast.FuncDecl:
+				checkKeyParam(pass, n)
+			case *ast.IndexExpr:
+				checkMapIndexKey(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// cacheLike reports whether a type or function name suggests a keyed
+// memoization sink.
+func cacheLike(name string) bool {
+	l := strings.ToLower(name)
+	for _, m := range []string{"cache", "flight", "memo", "singleflight"} {
+		if strings.Contains(l, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCacheCall flags built-string arguments flowing into cache-like
+// callees.
+func checkCacheCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	target := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		target = recvTypeName(sig.Recv().Type()) + "." + target
+	}
+	if !cacheLike(target) {
+		return
+	}
+	for _, arg := range call.Args {
+		if t := pass.TypeOf(arg); t == nil || !isString(t) {
+			continue
+		}
+		if pos, ok := builtString(pass, arg); ok {
+			pass.Reportf(pos, "built string key passed to %s: cache keys must be typed comparable structs carrying the value's actual dependencies", target)
+		}
+	}
+}
+
+// checkKeyParam flags cache-like functions and methods whose signature
+// declares a string key parameter.
+func checkKeyParam(pass *Pass, decl *ast.FuncDecl) {
+	name := decl.Name.Name
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		if t := pass.TypeOf(decl.Recv.List[0].Type); t != nil {
+			name = recvTypeName(t) + "." + name
+		}
+	}
+	if !cacheLike(name) {
+		return
+	}
+	for _, field := range decl.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isString(t) {
+			continue
+		}
+		for _, id := range field.Names {
+			if l := strings.ToLower(id.Name); l == "key" || strings.HasSuffix(l, "key") {
+				pass.Reportf(id.Pos(), "%s keys by string parameter %q: declare a typed comparable struct key instead", name, id.Name)
+			}
+		}
+	}
+}
+
+// checkMapIndexKey flags map reads and writes indexed by a freshly built
+// string.
+func checkMapIndexKey(pass *Pass, idx *ast.IndexExpr) {
+	t := pass.TypeOf(idx.X)
+	if t == nil {
+		return
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok || !isString(m.Key()) {
+		return
+	}
+	if pos, ok := builtString(pass, idx.Index); ok {
+		pass.Reportf(pos, "map indexed by a built string: key this map by a typed comparable struct (stringly keys collide and drift)")
+	}
+}
+
+// builtString reports whether e is a string freshly assembled at this
+// site: a fmt.Sprintf call, or a concatenation with at least one
+// non-constant operand. Constant folding ("a"+"b") and calls returning
+// strings (canonicalizers, method values) are fine — the contract targets
+// ad-hoc key assembly, not string use.
+func builtString(pass *Pass, e ast.Expr) (token.Pos, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass, e); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "fmt" && (fn.Name() == "Sprintf" || fn.Name() == "Sprint") {
+			return e.Pos(), true
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return 0, false
+		}
+		if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+			return 0, false // constant fold
+		}
+		return e.Pos(), true
+	}
+	return 0, false
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// recvTypeName names a receiver's base named type ("" when anonymous).
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

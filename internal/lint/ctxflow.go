@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces the engine's cancellation contract (PR 5):
+// context flows in from the caller, first parameter by convention, and
+// library code never manufactures its own root context —
+// context.Background()/context.TODO() sever the cancellation chain, so a
+// request abandoning a computation could no longer reclaim its workers.
+// The few places that legitimately detach (a background job outliving its
+// submitting request, a coalesced flight outliving any single waiter, a
+// compatibility wrapper) carry an explicit //repro:allow with the
+// lifecycle argument.
+func CtxFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "context.Context is the first parameter and is threaded, never recreated from Background/TODO",
+		Appl: KindLibrary,
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n)
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, n)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(n.Pos(), "context.%s severs the cancellation chain: accept a ctx from the caller (//repro:allow ctxflow for deliberate lifecycle detach)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxPosition flags exported functions and methods that accept a
+// context.Context anywhere but first.
+func checkCtxPosition(pass *Pass, decl *ast.FuncDecl) {
+	if !decl.Name.IsExported() {
+		return
+	}
+	if decl.Recv != nil {
+		// Methods on unexported types are internal plumbing.
+		if len(decl.Recv.List) != 1 {
+			return
+		}
+		if name := recvTypeName(pass.TypeOf(decl.Recv.List[0].Type)); name == "" || !ast.IsExported(name) {
+			return
+		}
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(t) && idx > 0 {
+			pass.Reportf(field.Pos(), "%s accepts context.Context at parameter %d: context is the first parameter of every exported entry point", decl.Name.Name, idx)
+			return
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

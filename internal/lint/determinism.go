@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// wallClockFuncs are the time-package functions that read (or schedule
+// against) the wall clock. Engine output must be a pure function of the
+// declaration and the seed, so none of these belong in an engine package.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// DeterminismAnalyzer enforces the engine's byte-identical-output
+// contract: no wall-clock reads, no ambient randomness (randomness flows
+// through stats.RNG's seeded substreams), and no map iteration whose order
+// can leak into results — maps are iterated only to collect-and-sort keys,
+// to rebuild another map, or to delete entries.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "engine packages must be wall-clock-free, ambient-randomness-free and map-order-independent",
+		Appl: KindEngine,
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: engine randomness must flow through stats.RNG seeded substreams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock: engine output must be a pure function of declaration and seed", fn.Name())
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags iteration over a map unless the loop body is one of
+// the provably order-independent idioms:
+//
+//   - key collection:  ks = append(ks, k)   (collect, then sort)
+//   - map rebuild:     other[expr] = expr   (distinct keys, distinct slots)
+//   - entry deletion:  delete(m, k)
+//
+// Anything else — rendering, accumulation into floats, appends of values —
+// can leak Go's randomized iteration order into results and must either
+// sort keys first or carry a //repro:allow with the order-independence
+// argument.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyName := ""
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		keyName = id.Name
+	}
+	for _, stmt := range rng.Body.List {
+		if !orderIndependentStmt(stmt, keyName) {
+			pass.Reportf(rng.Pos(), "map iteration order is nondeterministic here: collect and sort keys before this loop (or //repro:allow determinism with the order-independence argument)")
+			return
+		}
+	}
+}
+
+// orderIndependentStmt reports whether stmt, as a map-range body
+// statement, cannot observe iteration order. keyName is the loop's key
+// variable ("" when unnamed).
+func orderIndependentStmt(stmt ast.Stmt, keyName string) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		// ks = append(ks, k): the collect-then-sort idiom. Only appends of
+		// the key variable itself qualify — appending values or derived
+		// expressions bakes iteration order into the slice.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) == 2 {
+				if arg, ok := call.Args[1].(*ast.Ident); ok && keyName != "" && arg.Name == keyName {
+					return true
+				}
+			}
+			return false
+		}
+		// other[k2] = v2: one map entry per distinct key, no order effect.
+		if _, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		// delete(m, k)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IncDecStmt:
+		// n++ / n--: pure counting commutes.
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves a call's target to its types.Func when the callee is
+// a plain package-qualified or method selector (nil otherwise).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// substringFuncs are the strings-package predicates that turn error text
+// into control flow when fed err.Error().
+var substringFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"Index": true, "LastIndex": true, "EqualFold": true, "Count": true,
+}
+
+// ErrSentinelAnalyzer enforces sentinel-based error classification (PR 5):
+// non-test code never branches on error message text. The HTTP layer's
+// status mapping, retry decisions and test assertions all go through
+// errors.Is/errors.As against exported sentinels — message text is
+// documentation, free to improve without breaking callers.
+//
+// Flagged shapes: err.Error() (or any error's Error() result) flowing into
+// strings.Contains/HasPrefix/HasSuffix/Index/LastIndex/EqualFold/Count,
+// and direct ==/!= comparison of an Error() call against a string.
+func ErrSentinelAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errsentinel",
+		Doc:  "classify errors with errors.Is/errors.As against sentinels, never by message text",
+		Appl: KindLibrary | KindMain,
+		Run:  runErrSentinel,
+	}
+}
+
+func runErrSentinel(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !substringFuncs[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if pos, ok := containsErrorCall(pass, arg); ok {
+						pass.Reportf(pos, "strings.%s over err.Error(): classify with errors.Is/errors.As against an exported sentinel, not message text", fn.Name())
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if isErrorCall(pass, side) {
+						pass.Reportf(n.Pos(), "comparing err.Error() text: classify with errors.Is/errors.As against an exported sentinel, not message text")
+						return true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// containsErrorCall walks e for any (error).Error() call.
+func containsErrorCall(pass *Pass, e ast.Expr) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && isErrorCall(pass, expr) {
+			pos, found = expr.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isErrorCall reports whether e is a call of the Error() method on a value
+// implementing the error interface.
+func isErrorCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	recv := pass.TypeOf(sel.X)
+	return recv != nil && types.Implements(recv, errorInterface())
+}
+
+// errorInterface returns the universe error interface type.
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

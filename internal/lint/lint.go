@@ -1,0 +1,264 @@
+// Package lint is the repo's custom static-analysis suite: a small,
+// stdlib-only driver (go/parser + go/ast + go/types, no external modules)
+// plus one analyzer per engine contract. The contracts it enforces are the
+// load-bearing guarantees the rest of the repo is built on:
+//
+//   - determinism: engine packages produce byte-identical artifacts at any
+//     worker count, so wall-clock reads, ambient randomness and
+//     map-iteration-ordered output are banned there (analyzer
+//     "determinism").
+//   - cachekeys: memoization and single-flight coalescing key on typed
+//     comparable structs, never Sprintf/concatenated strings (analyzer
+//     "cachekeys").
+//   - errsentinel: errors are classified with errors.Is/errors.As against
+//     exported sentinels, never by substring-matching err.Error()
+//     (analyzer "errsentinel").
+//   - ctxflow: exported entry points take context.Context as their first
+//     parameter, and library code never manufactures its own root context
+//     (analyzer "ctxflow").
+//   - exporteddocs: every exported symbol on the public facade carries a
+//     godoc comment, and the facade's load-bearing symbols exist (analyzer
+//     "exporteddocs").
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//repro:allow <rule>[,<rule>...] — <reason>
+//
+// on the offending line or the line directly above it. The reason is
+// mandatory: an allow without one is itself a diagnostic. The driver also
+// reports allows that suppressed nothing, so stale annotations cannot
+// accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a package for analyzer scoping.
+type Kind uint8
+
+const (
+	// KindLibrary marks importable (non-main) packages. Most analyzers run
+	// here.
+	KindLibrary Kind = 1 << iota
+	// KindEngine marks the deterministic engine packages whose rendered
+	// output must be byte-identical at any worker count; the determinism
+	// analyzer runs only here.
+	KindEngine
+	// KindSurface marks the public facade (the module root package) whose
+	// exported symbols must all carry godoc comments.
+	KindSurface
+	// KindMain marks executable packages (cmd/..., examples/...): linted
+	// for error classification, exempt from library-only rules.
+	KindMain
+)
+
+// Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the analyzer (or "allow" for suppression-syntax errors).
+	Rule string
+	// Message is the human-readable diagnostic.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	// Fset maps token positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression facts for Files.
+	Info *types.Info
+	// Path is the package's import path.
+	Path string
+	// Kind scopes which analyzers apply.
+	Kind Kind
+
+	rule string
+	out  *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of e, or nil when the checker recorded
+// none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Analyzer is one named contract check.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //repro:allow comments.
+	Name string
+	// Doc is a one-line description of the contract.
+	Doc string
+	// Appl is the package-kind mask the analyzer runs on.
+	Appl Kind
+	// Run inspects one package and reports via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		CacheKeysAnalyzer(),
+		ErrSentinelAnalyzer(),
+		CtxFlowAnalyzer(),
+		ExportedDocsAnalyzer(),
+	}
+}
+
+// allow is one parsed //repro:allow annotation.
+type allow struct {
+	pos   token.Position
+	rules map[string]bool
+	used  bool
+}
+
+// parseAllows scans a file's comments for //repro:allow annotations and
+// returns them keyed by the last line they cover (the comment's own line
+// and the line below it). Malformed annotations — no rule list, or a rule
+// list without a reason — are reported as rule "allow" diagnostics.
+func parseAllows(fset *token.FileSet, f *ast.File, out *[]Diagnostic) map[int][]*allow {
+	byLine := map[int][]*allow{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//repro:allow")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				*out = append(*out, Diagnostic{Pos: pos, Rule: "allow",
+					Message: "malformed suppression: want //repro:allow <rule>[,<rule>] — <reason>"})
+				continue
+			}
+			a := &allow{pos: pos, rules: map[string]bool{}}
+			for _, r := range strings.Split(fields[0], ",") {
+				if r != "" {
+					a.rules[r] = true
+				}
+			}
+			// The reason is whatever follows the rule list; an em-dash or
+			// hyphen separator alone does not count as one.
+			reason := strings.TrimLeft(strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), fields[0])), "—–- ")
+			if reason == "" {
+				*out = append(*out, Diagnostic{Pos: pos, Rule: "allow",
+					Message: "suppression without a reason: want //repro:allow <rule>[,<rule>] — <reason>"})
+				continue
+			}
+			byLine[pos.Line] = append(byLine[pos.Line], a)
+			byLine[pos.Line+1] = append(byLine[pos.Line+1], a)
+		}
+	}
+	return byLine
+}
+
+// RunAnalyzers executes every applicable analyzer over pkgs, applies
+// //repro:allow suppressions, reports stale allows, and returns the
+// surviving diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		// Suppressions are parsed per file once, shared by every analyzer.
+		allows := map[string]map[int][]*allow{}
+		var syntaxDiags []Diagnostic
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			allows[name] = parseAllows(pkg.Fset, f, &syntaxDiags)
+		}
+
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if pkg.Kind&a.Appl == 0 {
+				continue
+			}
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+				Path:  pkg.Path,
+				Kind:  pkg.Kind,
+				rule:  a.Name,
+				out:   &raw,
+			}
+			a.Run(pass)
+		}
+
+		for _, d := range raw {
+			if suppressed(allows[d.Pos.Filename], d) {
+				continue
+			}
+			all = append(all, d)
+		}
+		all = append(all, syntaxDiags...)
+
+		// A suppression that matched nothing is stale: either the violation
+		// was fixed (drop the comment) or the rule name is wrong.
+		for _, byLine := range allows {
+			for _, lineAllows := range byLine {
+				for _, a := range lineAllows {
+					if !a.used && !staleReported(all, a.pos) {
+						all = append(all, Diagnostic{Pos: a.pos, Rule: "allow",
+							Message: "stale suppression: no diagnostic here to allow"})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		if all[i].Pos.Line != all[j].Pos.Line {
+			return all[i].Pos.Line < all[j].Pos.Line
+		}
+		return all[i].Rule < all[j].Rule
+	})
+	return all
+}
+
+// suppressed marks the covering allow used and reports whether d is
+// silenced by one.
+func suppressed(byLine map[int][]*allow, d Diagnostic) bool {
+	hit := false
+	for _, a := range byLine[d.Pos.Line] {
+		if a.rules[d.Rule] {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// staleReported reports whether a stale-suppression diagnostic for pos is
+// already present (each allow is indexed under two lines; report it once).
+func staleReported(ds []Diagnostic, pos token.Position) bool {
+	for _, d := range ds {
+		if d.Rule == "allow" && d.Pos == pos && strings.HasPrefix(d.Message, "stale suppression") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the suppression driver itself (expectations
+// live in lint_test.go, not in want comments, because the defects are the
+// allow comments themselves): an allow without a reason is rejected and
+// suppresses nothing, and an allow covering no diagnostic is stale.
+package fixture
+
+import "strings"
+
+// classify carries a reason-less allow on line 12: the allow is a
+// diagnostic and the violation on line 13 still fires.
+func classify(err error) bool {
+	//repro:allow errsentinel
+	return strings.Contains(err.Error(), "boom")
+}
+
+// The allow below (line 18) covers a clean line: stale.
+//
+//repro:allow determinism — nothing on the next line violates determinism
+var clean = 1

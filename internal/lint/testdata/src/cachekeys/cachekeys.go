@@ -1,0 +1,66 @@
+// Package fixture exercises the cachekeys analyzer: Sprintf- and
+// concat-built strings flowing into cache-like sinks or map indexes are
+// caught; typed comparable struct keys and canonicalizer calls pass;
+// //repro:allow silences a documented non-key join.
+package fixture
+
+import "fmt"
+
+// profileCache is a cache-like sink by name.
+type profileCache struct{ m map[string]int }
+
+// get keys by a string parameter — the API itself invites stringly keys.
+func (c *profileCache) get(key string) int { // want cachekeys "profileCache.get keys by string parameter"
+	return c.m[key]
+}
+
+// lookupSprintf assembles the key ad hoc at the call site.
+func lookupSprintf(c *profileCache, name string, gen int) int {
+	return c.get(fmt.Sprintf("%s-%d", name, gen)) // want cachekeys "built string key passed to profileCache.get"
+}
+
+// lookupConcat concatenates the key ad hoc at the call site.
+func lookupConcat(c *profileCache, name, variant string) int {
+	return c.get(name + ":" + variant) // want cachekeys "built string key passed to profileCache.get"
+}
+
+var memo = map[string]int{}
+
+// memoizeSprintf indexes a memo map by a freshly built string.
+func memoizeSprintf(name string, gen int) {
+	memo[fmt.Sprintf("%s-%d", name, gen)]++ // want cachekeys "map indexed by a built string"
+}
+
+// profileKey is the contract-conformant shape: a typed comparable struct
+// carrying exactly the dependencies.
+type profileKey struct {
+	name string
+	gen  int
+}
+
+var typedMemo = map[profileKey]int{}
+
+// memoizeTyped is clean: a struct key has no separators to collide on.
+func memoizeTyped(name string, gen int) {
+	typedMemo[profileKey{name, gen}]++
+}
+
+// canonical is a canonicalizer; calls returning strings are not ad-hoc
+// assembly and pass.
+func canonical(name string) string { return name }
+
+// lookupCanonical is clean: the key flows through a named canonicalizer.
+func lookupCanonical(c *profileCache, name string) int {
+	return c.get(canonical(name))
+}
+
+// constantKey is clean: "a" + "b" folds to a constant.
+func constantKey(c *profileCache) int {
+	return c.get("peak" + "-l1")
+}
+
+// renderLabel joins display text, not a key; the allow documents it.
+func renderLabel(name, unit string) {
+	//repro:allow cachekeys — display-label join for rendering, not a memoization key
+	memo[name+" ("+unit+")"] = 0
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the ctxflow analyzer: context parameters not
+// in first position and library-made root contexts are caught;
+// ctx-first threading passes; //repro:allow silences a documented
+// lifecycle detach.
+package fixture
+
+import "context"
+
+// Engine is an exported entry-point carrier.
+type Engine struct{}
+
+// Run threads its caller's context, first parameter — clean.
+func (e *Engine) Run(ctx context.Context, n int) error {
+	return process(ctx, n)
+}
+
+// RunDetached buries the context mid-signature.
+func (e *Engine) RunDetached(n int, ctx context.Context) error { // want ctxflow "RunDetached accepts context.Context at parameter 1"
+	return ctx.Err()
+}
+
+// Compare is an exported free function with the same defect.
+func Compare(a, b int, ctx context.Context) bool { // want ctxflow "Compare accepts context.Context at parameter 2"
+	return ctx.Err() == nil && a == b
+}
+
+// process is unexported plumbing: position unchecked, but roots are still
+// forbidden.
+func process(ctx context.Context, n int) error {
+	if n < 0 {
+		ctx = context.Background() // want ctxflow "context.Background severs the cancellation chain"
+	}
+	return ctx.Err()
+}
+
+// todoContext reaches for TODO instead of accepting a context.
+func todoContext() error {
+	return process(context.TODO(), 1) // want ctxflow "context.TODO severs the cancellation chain"
+}
+
+// detach runs work that deliberately outlives its caller; the allow
+// documents the lifecycle.
+func detach() context.Context {
+	//repro:allow ctxflow — fixture background lifecycle detach, stopped via its own cancel
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	return ctx
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the determinism analyzer: wall-clock reads,
+// ambient randomness and order-leaking map iteration are caught; the
+// collect-then-sort, map-rebuild and delete idioms pass; //repro:allow
+// silences a documented order-independent loop.
+package fixture
+
+import (
+	"fmt"
+	"math/rand" // want determinism "import of math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the clock twice and rolls ambient dice — three catches.
+func wallClock() float64 {
+	start := time.Now()         // want determinism "time.Now reads the wall clock"
+	_ = time.Since(start)       // want determinism "time.Since reads the wall clock"
+	time.Sleep(time.Nanosecond) // want determinism "time.Sleep reads the wall clock"
+	return rand.Float64()
+}
+
+// leakyRender bakes iteration order into rendered output.
+func leakyRender(m map[string]float64) []string {
+	var out []string
+	for k, v := range m { // want determinism "map iteration order is nondeterministic"
+		out = append(out, fmt.Sprintf("%s=%g", k, v))
+	}
+	return out
+}
+
+// sortedRender is the contract-conformant idiom: collect keys, sort,
+// then render — clean.
+func sortedRender(m map[string]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([]string, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, fmt.Sprintf("%s=%g", k, m[k]))
+	}
+	return out
+}
+
+// rebuild inverts a map into another map — one slot per distinct key, no
+// order effect — clean.
+func rebuild(m map[string]int) map[int]string {
+	inv := map[int]string{}
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// drain deletes every entry — clean.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// countEntries is order-independent but not one of the recognized idioms;
+// the allow documents why it is safe.
+func countEntries(m map[string]int) int {
+	n := 0
+	//repro:allow determinism — pure counting commutes; no value escapes in iteration order
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+// Package fixture exercises the errsentinel analyzer: substring-matching
+// and text-comparing err.Error() are caught; errors.Is/errors.As
+// classification passes; //repro:allow silences a documented exception.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// errBoom is the exported sentinel classification should go through.
+var errBoom = errors.New("fixture: boom")
+
+// classifyByText branches on message text — three catches.
+func classifyByText(err error) int {
+	if strings.Contains(err.Error(), "boom") { // want errsentinel "strings.Contains over err.Error"
+		return 1
+	}
+	if strings.HasPrefix(fmt.Sprintf("[%s]", err.Error()), "[fixture") { // want errsentinel "strings.HasPrefix over err.Error"
+		return 2
+	}
+	if err.Error() == "fixture: boom" { // want errsentinel "comparing err.Error"
+		return 3
+	}
+	return 0
+}
+
+// classifyBySentinel is the contract-conformant path — clean.
+func classifyBySentinel(err error) int {
+	if errors.Is(err, errBoom) {
+		return 1
+	}
+	var nf interface{ NotFound() bool }
+	if errors.As(err, &nf) {
+		return 2
+	}
+	return 0
+}
+
+// messageText may inspect non-error strings freely — clean.
+func messageText(s string) bool {
+	return strings.Contains(s, "boom")
+}
+
+// legacyClassify matches a third-party error that exports no sentinel;
+// the allow documents the debt.
+func legacyClassify(err error) bool {
+	//repro:allow errsentinel — upstream fixture dependency exports no sentinel; tracked debt
+	return strings.Contains(err.Error(), "temporarily unavailable")
+}

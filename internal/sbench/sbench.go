@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -198,7 +199,7 @@ func runTarget(ctx context.Context, client *http.Client, base string, t Target) 
 			tr.Errors++
 		}
 		if s.status > 0 {
-			tr.Status[fmt.Sprint(s.status)]++
+			tr.Status[strconv.Itoa(s.status)]++
 		}
 		tr.Bytes += s.bytes
 		samples = append(samples, s.ms)

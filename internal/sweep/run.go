@@ -99,6 +99,7 @@ type Runner struct {
 // grid coordinates, results land in index-addressed slots, and the
 // aggregator's reductions are order-independent.
 func (r *Runner) Run(l *pool.Limiter) (*Campaign, error) {
+	//repro:allow ctxflow — ctx-less compatibility wrapper; cancellable callers use RunContext
 	return r.RunContext(context.Background(), l)
 }
 

@@ -220,13 +220,16 @@ var LinkGenerations = map[int]LinkGen{
 }
 
 func init() {
-	for gen, name := range map[int]string{5: "cxl-gen5", 6: "cxl-gen6"} {
-		sp, err := scenario.Get(name)
+	for _, p := range []struct {
+		gen  int
+		name string
+	}{{5, "cxl-gen5"}, {6, "cxl-gen6"}} {
+		sp, err := scenario.Get(p.name)
 		if err != nil {
 			panic(fmt.Sprintf("sweep: generation preset scenario missing: %v", err))
 		}
 		l := sp.Platform.Link
-		LinkGenerations[gen] = LinkGen{
+		LinkGenerations[p.gen] = LinkGen{
 			Description:   sp.Description,
 			DataBandwidth: l.DataBandwidth, PeakTraffic: l.PeakTraffic,
 			Latency: l.Latency, Overhead: l.Overhead,

@@ -54,6 +54,10 @@ var (
 	// ErrJobNotDone matches an artifact read from a job that has not
 	// completed.
 	ErrJobNotDone = jobs.ErrNotDone
+	// ErrJobRecordModified matches a resume whose stored declaration no
+	// longer hashes to the job id — a tampered or corrupted record that
+	// must never run. The HTTP layer serves it as a 409 conflict.
+	ErrJobRecordModified = jobs.ErrRecordModified
 )
 
 // NewDiskJobStore opens (creating if needed) the durable filesystem job

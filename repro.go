@@ -123,8 +123,11 @@ func NewProfiler(p Platform) *Profiler { return core.NewProfiler(p) }
 
 // Level1Report, Level2Report and Level3Report are the three analysis levels.
 type (
+	// Level1Report is the general workload characterization (§4).
 	Level1Report = core.Level1Report
+	// Level2Report quantifies multi-tier memory access (§5).
 	Level2Report = core.Level2Report
+	// Level3Report quantifies interference on memory pooling (§6).
 	Level3Report = core.Level3Report
 )
 
